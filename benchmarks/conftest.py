@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation (§7). The *simulated* latencies are the result; pytest-benchmark
+additionally records the wall-clock cost of running each simulation (one
+round — simulations are deterministic, repetition adds nothing).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_sim_benchmark(benchmark, fn):
+    """Run ``fn`` (which builds and runs a simulation, returning results)
+    exactly once under pytest-benchmark; return its result."""
+    result_holder = {}
+
+    def once():
+        result_holder["result"] = fn()
+
+    benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+    return result_holder["result"]
+
+
+@pytest.fixture
+def sim_benchmark(benchmark):
+    def runner(fn):
+        return run_sim_benchmark(benchmark, fn)
+
+    return runner

@@ -1,0 +1,255 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Snapify-IO staging-buffer size (the paper fixes 4 MB "to balance between
+   the requirement of minimizing memory footprint and the need of shorter
+   transfer latency") — sweep 256 KB to 64 MB.
+2. Asynchronous host-side flush (why card->host writes outrun reads).
+3. Drain-before-capture: without the pause protocol, the SCIF channels are
+   frequently non-empty at the capture instant — the §3 consistency hazard.
+4. On-the-fly restore vs staging the context in card RAM-FS first: staging
+   doubles the card-memory bill and OOMs for large processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+
+import pytest
+
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
+from repro.blcr import cr_checkpoint, cr_restart
+from repro.calibration import paper_testbed
+from repro.hw import GB, KB, MB, MemoryExhausted
+from repro.metrics import ResultTable, fmt_bytes, fmt_time
+from repro.osim import RegularFileFD
+from repro.snapify import snapify_pause, snapify_resume, snapify_t
+from repro.snapify_io import snapifyio_open
+from repro.testbed import XeonPhiServer
+
+
+# ---------------------------------------------------------------------------
+# 1. staging buffer size
+# ---------------------------------------------------------------------------
+
+
+def run_buffer_sweep():
+    times = {}
+    for buf in [256 * KB, 1 * MB, 4 * MB, 16 * MB, 64 * MB]:
+        params = paper_testbed()
+        params = params.with_(
+            snapify_io=dataclasses.replace(params.snapify_io, buffer_size=buf)
+        )
+        server = XeonPhiServer(params=params)
+
+        def driver(sim):
+            yield from server.phi_os(0).fs.write("/f", 256 * MB)
+            t0 = sim.now
+            fd = yield from snapifyio_open(server.phi_os(0), 0, "/out", "w")
+            yield from server.phi_os(0).fs.read("/f")
+            yield from fd.write(256 * MB)
+            yield from fd.finish()
+            return sim.now - t0
+
+        times[buf] = server.run(driver(server.sim))
+    return times
+
+
+def test_buffer_size_ablation(sim_benchmark):
+    times = sim_benchmark(run_buffer_sweep)
+    t = ResultTable(
+        "Ablation — Snapify-IO staging buffer size (256 MB transfer)",
+        ["buffer", "transfer time", "card memory pinned"],
+    )
+    for buf, elapsed in times.items():
+        t.add_row(fmt_bytes(buf), fmt_time(elapsed), fmt_bytes(buf))
+    t.add_note("the paper picks 4 MB: latency flattens past a few MB while "
+               "pinned card memory keeps growing")
+    t.show()
+    sizes = sorted(times)
+    # Tiny buffers pay per-chunk round trips; big buffers stop helping.
+    assert times[sizes[0]] > times[4 * MB]
+    gain_past_4mb = times[4 * MB] - times[sizes[-1]]
+    assert gain_past_4mb < 0.25 * times[4 * MB]
+
+
+# ---------------------------------------------------------------------------
+# 2. async host flush
+# ---------------------------------------------------------------------------
+
+
+def run_flush_ablation():
+    out = {}
+    for async_flush in (True, False):
+        params = paper_testbed()
+        params = params.with_(
+            snapify_io=dataclasses.replace(params.snapify_io, async_flush=async_flush)
+        )
+        server = XeonPhiServer(params=params)
+
+        def driver(sim):
+            yield from server.phi_os(0).fs.write("/f", 512 * MB)
+            t0 = sim.now
+            fd = yield from snapifyio_open(server.phi_os(0), 0, "/out", "w")
+            yield from server.phi_os(0).fs.read("/f")
+            yield from fd.write(512 * MB)
+            yield from fd.finish()
+            return sim.now - t0
+
+        out[async_flush] = server.run(driver(server.sim))
+    return out
+
+
+def test_async_flush_ablation(sim_benchmark):
+    out = sim_benchmark(run_flush_ablation)
+    t = ResultTable(
+        "Ablation — asynchronous host-side flush (512 MB card->host write)",
+        ["flush", "time"],
+    )
+    t.add_row("async (paper)", fmt_time(out[True]))
+    t.add_row("synchronous", fmt_time(out[False]))
+    t.show()
+    assert out[True] < out[False]
+
+
+# ---------------------------------------------------------------------------
+# 3. drain-before-capture
+# ---------------------------------------------------------------------------
+
+
+def run_drain_ablation():
+    profile = replace(OPENMP_BENCHMARKS["MD"], iterations=10_000)
+    server = XeonPhiServer()
+    app = OffloadApplication(server, profile)
+    samples = {"undrained": 0, "undrained_dirty": 0, "drained": 0, "drained_dirty": 0}
+    link = server.node.phis[0].link
+
+    def unsafe() -> bool:
+        """Would a snapshot taken *now* see communication state that no
+        process image contains? True if any channel holds an undelivered
+        message or a transfer is on the PCIe wire."""
+        return (
+            not app.coiproc.channels_empty()
+            or link.h2d.busy
+            or link.d2h.busy
+        )
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(0.5)
+        # Sample the communication state at arbitrary instants WITHOUT pausing.
+        for i in range(60):
+            yield sim.timeout(0.00037)  # off-phase with the iteration rhythm
+            samples["undrained"] += 1
+            if unsafe():
+                samples["undrained_dirty"] += 1
+        # Now sample under the pause protocol.
+        for i in range(5):
+            snap = snapify_t(snapshot_path=f"/abl/{i}", coiproc=app.coiproc)
+            yield from snapify_pause(snap)
+            samples["drained"] += 1
+            if unsafe():
+                samples["drained_dirty"] += 1
+            yield from snapify_resume(snap)
+            yield sim.timeout(0.01)
+
+    server.run(driver(server.sim))
+    return samples
+
+
+def test_drain_ablation(sim_benchmark):
+    samples = sim_benchmark(run_drain_ablation)
+    t = ResultTable(
+        "Ablation — drain-before-capture (channel emptiness at the capture instant)",
+        ["mode", "samples", "channels non-empty"],
+    )
+    t.add_row("no pause (broken)", samples["undrained"], samples["undrained_dirty"])
+    t.add_row("snapify_pause (paper)", samples["drained"], samples["drained_dirty"])
+    t.add_note("a snapshot taken at a non-empty instant loses in-flight "
+               "messages: the §3 consistency hazard")
+    t.show()
+    assert samples["undrained_dirty"] > 0
+    assert samples["drained_dirty"] == 0
+
+
+# ---------------------------------------------------------------------------
+# 4. on-the-fly vs staged restore
+# ---------------------------------------------------------------------------
+
+
+def run_staged_restore(heap_bytes: int, staged: bool):
+    """Checkpoint a native card process, then restore it with/without
+    staging the context file in card RAM-FS. Returns (peak_ramfs, outcome)."""
+    server = XeonPhiServer()
+    phi = server.phi_os(0)
+
+    def driver(sim):
+        def spin(proc):
+            while True:
+                yield proc.sim.timeout(1)
+
+        proc = yield from phi.spawn_process("native", image_size=2 * MB,
+                                            main_factory=spin)
+        proc.map_region("heap", heap_bytes)
+        fd = yield from snapifyio_open(phi, 0, "/ctx", "w")
+        yield from cr_checkpoint(proc, fd)
+        yield from fd.finish()
+        proc.terminate()
+        yield sim.timeout(0.01)
+        base_ramfs = phi.memory.by_category.get("ramfs", 0)
+        try:
+            if staged:
+                # Copy the whole context into card RAM-FS first...
+                ctx_file = server.host_os.fs.stat("/ctx")
+                rfd = yield from snapifyio_open(phi, 0, "/ctx", "r")
+                records = []
+                while True:
+                    rec = yield from rfd.read(4 * MB)
+                    if rec is None:
+                        break
+                    records.append(rec)
+                rfd.close()
+                yield from phi.fs.write("/tmp/staged_ctx", ctx_file.size,
+                                        payload=records)
+                peak = phi.memory.by_category.get("ramfs", 0)
+                lfd = RegularFileFD(server.sim, phi.fs, "/tmp/staged_ctx", "r")
+                yield from cr_restart(phi, lfd)
+                lfd.close()
+                phi.fs.unlink("/tmp/staged_ctx")
+            else:
+                rfd = yield from snapifyio_open(phi, 0, "/ctx", "r")
+                yield from cr_restart(phi, rfd)
+                rfd.close()
+                peak = phi.memory.by_category.get("ramfs", 0)
+            return peak - base_ramfs, "ok"
+        except MemoryExhausted:
+            return None, "OOM"
+
+    return server.run(driver(server.sim))
+
+
+def test_staged_restore_ablation(sim_benchmark):
+    def run_all():
+        return {
+            (fmt_bytes(heap), mode): run_staged_restore(heap, mode == "staged")
+            for heap in (1 * GB, 5 * GB)
+            for mode in ("on-the-fly", "staged")
+        }
+
+    results = sim_benchmark(run_all)
+    t = ResultTable(
+        "Ablation — on-the-fly restore (Snapify-IO) vs staging in card RAM-FS",
+        ["process heap", "mode", "extra card memory", "outcome"],
+    )
+    for (heap, mode), (extra, outcome) in results.items():
+        t.add_row(heap, mode, "-" if extra is None else fmt_bytes(extra), outcome)
+    t.add_note("staging needs snapshot-sized RAM-FS space on top of the "
+               "process itself: big processes cannot be restored that way")
+    t.show()
+    assert results[(fmt_bytes(1 * GB), "on-the-fly")][1] == "ok"
+    assert results[(fmt_bytes(1 * GB), "staged")][1] == "ok"
+    assert results[(fmt_bytes(5 * GB), "on-the-fly")][1] == "ok"
+    assert results[(fmt_bytes(5 * GB), "staged")][1] == "OOM"
+    # Staging pins snapshot-sized card memory; on-the-fly pins ~nothing.
+    assert results[(fmt_bytes(1 * GB), "staged")][0] > 1 * GB
+    assert results[(fmt_bytes(1 * GB), "on-the-fly")][0] < 64 * MB

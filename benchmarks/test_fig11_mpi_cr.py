@@ -1,0 +1,110 @@
+"""Figure 11: checkpoint/restart of MPI offload applications (LU-MZ, SP-MZ,
+BT-MZ, class C) on the 4-node cluster with 1, 2 and 4 ranks.
+
+Shape criteria from §7:
+* (a) checkpoint time DECREASES as rank count grows ("the checkpoint size
+  of each MPI rank decreases as the total number of MPI ranks increases");
+* (b) restart time follows the same trend;
+* (c) per-rank checkpoint size shrinks with rank count;
+* CR times are seconds-scale (paper: 4-14 s per checkpoint) — small enough
+  against multi-minute runtimes to take frequent checkpoints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import NAS_MZ_BENCHMARKS
+from repro.apps.nas_mz import MZJob
+from repro.metrics import ResultTable, fmt_bytes, fmt_time
+from repro.mpi import mpi_checkpoint, mpi_restart
+from repro.testbed import XeonPhiCluster
+
+BENCHES = ["LU-MZ", "SP-MZ", "BT-MZ"]
+RANK_COUNTS = [1, 2, 4]
+
+
+def run_fig11():
+    results = {}
+    for bench in BENCHES:
+        for n in RANK_COUNTS:
+            cluster = XeonPhiCluster(n_nodes=4)
+            job = MZJob(cluster, NAS_MZ_BENCHMARKS[bench], n, iterations=4000)
+            out = {}
+
+            def driver(sim):
+                yield from job.launch()
+                yield sim.timeout(1.0)
+                ck = yield from mpi_checkpoint(job, f"/snap/{bench}")
+                out["ckpt"] = ck
+                yield sim.timeout(0.2)
+                for rank in job.ranks:  # cluster-wide failure
+                    rank.host_proc.terminate(code=1)
+                yield sim.timeout(0.05)
+                for server in cluster.servers[:n]:
+                    server.host_os.fs.drop_caches()
+                rs = yield from mpi_restart(job, f"/snap/{bench}")
+                out["restart"] = rs
+
+            cluster.run(driver(cluster.sim))
+            results[(bench, n)] = out
+    return results
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_fig11()
+
+
+def test_fig11_report(fig11, sim_benchmark):
+    sim_benchmark(lambda: None)
+    t = ResultTable(
+        "Figure 11 — MPI checkpoint/restart (class C)",
+        ["benchmark", "ranks", "checkpoint", "restart", "size/rank"],
+    )
+    for bench in BENCHES:
+        for n in RANK_COUNTS:
+            out = fig11[(bench, n)]
+            size = out["ckpt"]["rank_snapshot_bytes"][0]
+            t.add_row(
+                bench, n,
+                fmt_time(out["ckpt"]["elapsed"]),
+                fmt_time(out["restart"]["elapsed"]),
+                fmt_bytes(size),
+            )
+    t.add_note("paper: CR 4-14 s, decreasing with rank count; per-rank "
+               "snapshot shrinks as ranks grow")
+    t.show()
+    test_checkpoint_time_decreases_with_ranks(fig11)
+    test_restart_time_decreases_with_ranks(fig11)
+    test_per_rank_size_shrinks(fig11)
+    test_cr_cost_supports_frequent_checkpoints(fig11)
+
+
+def test_checkpoint_time_decreases_with_ranks(fig11):
+    for bench in BENCHES:
+        times = [fig11[(bench, n)]["ckpt"]["elapsed"] for n in RANK_COUNTS]
+        assert times[0] > times[1] > times[2], f"{bench}: {times}"
+
+
+def test_restart_time_decreases_with_ranks(fig11):
+    for bench in BENCHES:
+        times = [fig11[(bench, n)]["restart"]["elapsed"] for n in RANK_COUNTS]
+        assert times[0] > times[1] > times[2], f"{bench}: {times}"
+
+
+def test_per_rank_size_shrinks(fig11):
+    for bench in BENCHES:
+        sizes = [
+            fig11[(bench, n)]["ckpt"]["rank_snapshot_bytes"][0] for n in RANK_COUNTS
+        ]
+        assert sizes[0] > sizes[1] > sizes[2], f"{bench}: {sizes}"
+
+
+def test_cr_cost_supports_frequent_checkpoints(fig11):
+    """Checkpoints cost seconds; class-C runs take minutes. The conclusion
+    the paper draws — frequent checkpointing is feasible — must hold."""
+    for bench in BENCHES:
+        for n in RANK_COUNTS:
+            ck = fig11[(bench, n)]["ckpt"]["elapsed"]
+            assert 0.2 < ck < 20.0, f"{bench}/{n}: {ck:.1f}s"

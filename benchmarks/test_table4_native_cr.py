@@ -1,0 +1,160 @@
+"""Table 4: BLCR checkpoint/restart of a native Xeon Phi process through
+each storage backend (Local RAM-FS, NFS, NFS-buffered kernel/user,
+Snapify-IO), for malloc sizes 1 MB - 4 GB.
+
+Shape criteria from §7:
+* Local is fastest where feasible but IMPOSSIBLE at 4 GB (8 GB card, 4 GB
+  already malloc'd by the benchmark);
+* plain NFS is the worst checkpoint path (BLCR's burst of small writes);
+* kernel buffering helps a lot, user-space buffering somewhat less;
+* Snapify-IO checkpoints 4.7-8.8x faster than NFS at 1-4 GB;
+* Snapify-IO restarts 1.4x / 2.6x / 5.9x faster than NFS at
+  1 MB / 256 MB / 4 GB (buffering does not apply to restores).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.native import MallocLoopBenchmark
+from repro.hw import MemoryExhausted
+from repro.hw.params import GB, MB
+from repro.metrics import ResultTable, fmt_bytes, fmt_time
+from repro.testbed import XeonPhiServer
+
+SIZES = [1 * MB, 256 * MB, 1 * GB, 4 * GB]
+CKPT_METHODS = ["local", "nfs", "nfs-buffered-kernel", "nfs-buffered-user", "snapify-io"]
+RESTART_METHODS = ["local", "nfs", "snapify-io"]
+
+
+def run_table4():
+    ckpt, restart = {}, {}
+    for size in SIZES:
+        for method in CKPT_METHODS:
+            server = XeonPhiServer()
+            bench = MallocLoopBenchmark(server, malloc_bytes=size)
+
+            def driver(sim, method=method):
+                yield from bench.start()
+                yield sim.timeout(0.1)
+                try:
+                    elapsed = yield from bench.checkpoint(method)
+                except MemoryExhausted:
+                    return "OOM"
+                return elapsed
+
+            ckpt[(method, size)] = server.run(driver(server.sim))
+        for method in RESTART_METHODS:
+            server = XeonPhiServer()
+            bench = MallocLoopBenchmark(server, malloc_bytes=size)
+
+            def driver(sim, method=method):
+                yield from bench.start()
+                yield sim.timeout(0.1)
+                try:
+                    yield from bench.checkpoint(method)
+                except MemoryExhausted:
+                    return "OOM"
+                bench.stop()
+                yield sim.timeout(0.05)
+                server.host_os.fs.drop_caches()  # restart-after-failure is cold
+                _, elapsed = yield from bench.restart(method)
+                return elapsed
+
+            restart[(method, size)] = server.run(driver(server.sim))
+    return ckpt, restart
+
+
+@pytest.fixture(scope="module")
+def table4():
+    return run_table4()
+
+
+def _cell(v):
+    return v if v == "OOM" else fmt_time(v)
+
+
+def test_table4_report(table4, sim_benchmark):
+    sim_benchmark(lambda: None)
+    ckpt, restart = table4
+
+    t = ResultTable(
+        "Table 4a — BLCR checkpoint time (native app on the card)",
+        ["malloc", *CKPT_METHODS, "nfs/sio"],
+    )
+    for size in SIZES:
+        vals = [ckpt[(m, size)] for m in CKPT_METHODS]
+        ratio = (
+            f"{ckpt[('nfs', size)] / ckpt[('snapify-io', size)]:.1f}x"
+        )
+        t.add_row(fmt_bytes(size), *[_cell(v) for v in vals], ratio)
+    t.add_note("paper: Snapify-IO 4.7x-8.8x faster than NFS for 1-4 GB; "
+               "Local infeasible at 4 GB")
+    t.show()
+
+    t = ResultTable(
+        "Table 4b — BLCR restart time",
+        ["malloc", *RESTART_METHODS, "nfs/sio"],
+    )
+    for size in SIZES:
+        vals = [restart[(m, size)] for m in RESTART_METHODS]
+        ratio = f"{restart[('nfs', size)] / restart[('snapify-io', size)]:.1f}x"
+        t.add_row(fmt_bytes(size), *[_cell(v) for v in vals], ratio)
+    t.add_note("paper: Snapify-IO 1.4x / 2.6x / 5.9x faster than NFS at "
+               "1 MB / 256 MB / 4 GB")
+    t.show()
+
+    test_local_fastest_but_impossible_at_4gb(table4)
+    test_plain_nfs_is_worst_checkpoint(table4)
+    test_buffering_order(table4)
+    test_checkpoint_speedup_bands(table4)
+    test_restart_speedup_grows_with_size(table4)
+
+
+def test_local_fastest_but_impossible_at_4gb(table4):
+    ckpt, restart = table4
+    for size in SIZES[:2]:  # plenty of card room at 1 MB / 256 MB
+        others = [ckpt[(m, size)] for m in CKPT_METHODS if m != "local"]
+        assert ckpt[("local", size)] < min(others)
+    assert ckpt[("local", 4 * GB)] == "OOM"
+    assert restart[("local", 4 * GB)] == "OOM"
+
+
+def test_plain_nfs_is_worst_checkpoint(table4):
+    ckpt, _ = table4
+    for size in SIZES:
+        vals = {m: ckpt[(m, size)] for m in CKPT_METHODS if ckpt[(m, size)] != "OOM"}
+        assert max(vals, key=vals.get) == "nfs"
+
+
+def test_buffering_order(table4):
+    """Kernel buffering > user buffering > plain NFS, at every size."""
+    ckpt, _ = table4
+    for size in SIZES:
+        assert (
+            ckpt[("nfs-buffered-kernel", size)]
+            < ckpt[("nfs-buffered-user", size)]
+            < ckpt[("nfs", size)]
+        )
+
+
+def test_checkpoint_speedup_bands(table4):
+    ckpt, _ = table4
+    for size in (1 * GB, 4 * GB):
+        ratio = ckpt[("nfs", size)] / ckpt[("snapify-io", size)]
+        assert 3.0 < ratio < 12.0, f"{fmt_bytes(size)}: {ratio:.1f}x (paper 4.7-8.8x)"
+
+
+def test_restart_speedup_grows_with_size(table4):
+    _, restart = table4
+    ratios = [
+        restart[("nfs", s)] / restart[("snapify-io", s)]
+        for s in (1 * MB, 256 * MB, 4 * GB)
+    ]
+    assert ratios[0] < ratios[1] < ratios[2]
+    assert 1.05 < ratios[0] < 2.5, f"1 MB: {ratios[0]:.2f}x (paper 1.4x)"
+    assert 1.5 < ratios[1] < 4.5, f"256 MB: {ratios[1]:.2f}x (paper 2.6x)"
+    # Our NFS client models sequential readahead, which the paper's measured
+    # NFS apparently did not enjoy — so our large-size restart gap is
+    # smaller than their 5.9x. The monotone trend is the shape that matters.
+    assert 2.5 < ratios[2] < 9.0, f"4 GB: {ratios[2]:.2f}x (paper 5.9x)"

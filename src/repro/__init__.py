@@ -1,0 +1,34 @@
+"""Snapify (HPDC'14) reproduction.
+
+Consistent snapshots of offload applications on (simulated) Xeon Phi
+manycore processors: checkpoint/restart, process swapping, process
+migration, and the Snapify-IO RDMA remote-file service — built on a
+deterministic discrete-event simulation of the full MPSS stack.
+
+Typical entry points::
+
+    from repro.testbed import XeonPhiServer, XeonPhiCluster
+    from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
+    from repro.snapify import snapify_t, checkpoint_offload_app
+
+See README.md for a tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "blcr",
+    "calibration",
+    "coi",
+    "hw",
+    "metrics",
+    "mpi",
+    "osim",
+    "sched",
+    "scif",
+    "sim",
+    "snapify",
+    "snapify_io",
+    "testbed",
+]

@@ -1,0 +1,30 @@
+"""Applications: offload benchmarks and native micro-benchmarks."""
+
+from .native import MallocLoopBenchmark, copy_microbenchmark
+from .offload import OffloadApplication, build_binary, expected_checksum
+from .openmp import make_app, run_benchmark, suite
+from .workloads import (
+    NAS_MZ_BENCHMARKS,
+    OPENMP_BENCHMARKS,
+    OPENMP_NAMES,
+    BenchmarkProfile,
+    MZProfile,
+    mz_rank_footprint,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "MZProfile",
+    "MallocLoopBenchmark",
+    "NAS_MZ_BENCHMARKS",
+    "OPENMP_BENCHMARKS",
+    "OPENMP_NAMES",
+    "OffloadApplication",
+    "build_binary",
+    "copy_microbenchmark",
+    "expected_checksum",
+    "make_app",
+    "mz_rank_footprint",
+    "run_benchmark",
+    "suite",
+]

@@ -1,0 +1,170 @@
+"""NAS multi-zone MPI benchmarks (LU-MZ, SP-MZ, BT-MZ), class C.
+
+Each MPI rank runs on its own cluster node (as in §7) and offloads its
+zone's computation to that node's Xeon Phi. Ranks exchange zone-boundary
+data in a ring each iteration, then run the offload region. All progress is
+store-resident and all offload calls are keyed, so the coordinated
+checkpoint of :mod:`repro.mpi.cr` can capture/restart the whole job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..coi.engine import COIEngine
+from ..coi.pipeline import CardContext, OffloadBinary, OffloadFunction
+from ..mpi.runtime import MPIComm
+from ..osim.process import SimProcess
+from ..sim.events import Event
+from .offload import expected_checksum, _iterate_effect
+from .workloads import MZProfile, mz_rank_footprint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..testbed import XeonPhiCluster
+
+
+def build_mz_binary(profile: MZProfile, offload_heap: int) -> OffloadBinary:
+    def init_effect(ctx: CardContext, args):
+        if not ctx.has_region("zone_heap"):
+            ctx.map_region("zone_heap", offload_heap)
+        return "ready"
+
+    return OffloadBinary(
+        name=f"{profile.name}_mic.so",
+        image_size=6 * 1024 * 1024,
+        functions={
+            "init": OffloadFunction("init", duration=20e-3, effect=init_effect),
+            "iterate": OffloadFunction(
+                "iterate", duration=profile.call_duration, effect=_iterate_effect
+            ),
+        },
+    )
+
+
+class MZJob:
+    """One NAS-MZ run: ``n_ranks`` ranks, one per node."""
+
+    def __init__(self, cluster: "XeonPhiCluster", profile: MZProfile, n_ranks: int,
+                 iterations: Optional[int] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.profile = profile
+        self.n_ranks = n_ranks
+        self.iterations = iterations if iterations is not None else profile.iterations
+        self.comm = MPIComm(cluster, n_ranks)
+        self.ranks: List[MZRank] = [
+            MZRank(self, rank) for rank in range(n_ranks)
+        ]
+        # Coordinated-checkpoint state (see repro.mpi.cr).
+        self.park_requested = False
+        self.parked: int = 0
+        self.all_parked: Optional[Event] = None
+        self.release_event: Optional[Event] = None
+
+    def launch(self):
+        """Sub-generator: start every rank process."""
+        for rank in self.ranks:
+            yield from rank.launch()
+
+    def join(self):
+        """Sub-generator: wait for all ranks to finish."""
+        for rank in self.ranks:
+            yield rank.host_proc.main_thread.done
+
+    def verify(self) -> bool:
+        return all(
+            r.host_proc.store.get("checksum") == expected_checksum(self.iterations)
+            for r in self.ranks
+        )
+
+
+class MZRank:
+    """One MPI rank: a host process on node ``rank`` with an offload process."""
+
+    def __init__(self, job: MZJob, rank: int):
+        self.job = job
+        self.rank = rank
+        self.sim = job.sim
+        self.server = job.cluster.server(rank)
+        host_heap, offload_heap, local_store = mz_rank_footprint(
+            job.profile, job.n_ranks
+        )
+        self.host_heap = host_heap
+        self.offload_heap = offload_heap
+        self.local_store = local_store
+        self.binary = build_mz_binary(job.profile, offload_heap)
+        self.host_proc: Optional[SimProcess] = None
+
+    def launch(self):
+        self.host_proc = yield from self.server.host_os.spawn_process(
+            f"{self.job.profile.name}.r{self.rank}",
+            image_size=16 * 1024 * 1024,
+            main_factory=self._main_factory(),
+        )
+        return self.host_proc
+
+    def _main_factory(self):
+        rank = self
+
+        def main(proc: SimProcess):
+            yield from rank._program(proc)
+
+        return main
+
+    def _program(self, proc: SimProcess):
+        job, profile, comm = self.job, self.job.profile, self.job.comm
+        store = proc.store
+        if store.get("_blcr_restored"):
+            coiproc = proc.runtime.pop("coi_restored_handle")
+            proc.runtime["coi_handle"] = coiproc
+        else:
+            store["iter"] = 0
+            store["checksum"] = 0
+            store["halos"] = {}
+            proc.map_region("heap", self.host_heap)
+            engine = COIEngine(self.server.node, 0)
+            coiproc = yield from engine.process_create(proc, self.binary)
+            proc.runtime["coi_handle"] = coiproc
+            buf = yield from coiproc.buffer_create(self.local_store)
+            store["buf_id"] = buf.buf_id
+            yield from coiproc.run_function_keyed("init", "init")
+
+        nxt = (self.rank + 1) % job.n_ranks
+        prv = (self.rank - 1) % job.n_ranks
+        buf_id = store["buf_id"]
+        while store["iter"] < job.iterations:
+            i = store["iter"]
+            # Coordinated-checkpoint park point (iteration boundary: all
+            # channels provably empty here).
+            if job.park_requested:
+                yield from self._park()
+                coiproc = proc.runtime["coi_handle"]
+            coiproc = proc.runtime["coi_handle"]
+
+            # Ring halo exchange. Sends are idempotent under tag matching,
+            # so a restarted rank can safely re-send.
+            if job.n_ranks > 1:
+                yield from comm.send(self.rank, nxt, ("halo", i),
+                                     profile.exchange_bytes, payload=i)
+                if str(("halo", i)) not in store["halos"]:
+                    halo = yield comm.recv(self.rank, prv, ("halo", i))
+                    store["halos"] = {str(("halo", i)): halo}  # keep tiny
+
+            buf = coiproc.buffers[buf_id]
+            yield from coiproc.buffer_write(buf, payload=i, nbytes=min(
+                profile.exchange_bytes, buf.size))
+            result = yield from coiproc.run_function_keyed(
+                ("it", i), "iterate", {"i": i, "buf": buf_id}
+            )
+            store["checksum"] = result
+            store["iter"] = i + 1
+        store["finished"] = True
+
+    def _park(self):
+        job = self.job
+        job.parked += 1
+        if job.parked == job.n_ranks and job.all_parked is not None:
+            job.all_parked.succeed(None)
+        release = job.release_event
+        if release is not None:
+            yield release

@@ -1,0 +1,68 @@
+"""Suite-level helpers for the 8 OpenMP offload benchmarks.
+
+Thin conveniences over :class:`~repro.apps.offload.OffloadApplication` so
+examples and external drivers can run paper benchmarks by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+from .offload import OffloadApplication
+from .workloads import OPENMP_BENCHMARKS, BenchmarkProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..testbed import XeonPhiServer
+
+
+def profile(name: str, iterations: Optional[int] = None, **overrides) -> BenchmarkProfile:
+    """The named benchmark's profile, optionally tweaked."""
+    p = OPENMP_BENCHMARKS.get(name)
+    if p is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(OPENMP_BENCHMARKS)}"
+        )
+    if iterations is not None:
+        overrides["iterations"] = iterations
+    return replace(p, **overrides) if overrides else p
+
+
+def make_app(
+    server: "XeonPhiServer",
+    name: str,
+    iterations: Optional[int] = None,
+    device: int = 0,
+    snapify_enabled: bool = True,
+    **overrides,
+) -> OffloadApplication:
+    """Build (without launching) the named benchmark on ``server``."""
+    return OffloadApplication(
+        server,
+        profile(name, iterations, **overrides),
+        device=device,
+        snapify_enabled=snapify_enabled,
+    )
+
+
+def run_benchmark(
+    server: "XeonPhiServer",
+    name: str,
+    iterations: Optional[int] = None,
+    **kwargs,
+) -> OffloadApplication:
+    """Run the named benchmark to completion; returns the verified app."""
+    app = make_app(server, name, iterations, **kwargs)
+
+    def driver(sim):
+        yield from app.run_to_completion()
+
+    server.run(driver(server.sim))
+    if not app.verify():
+        raise AssertionError(f"{name} produced a wrong checksum")
+    return app
+
+
+def suite() -> Iterator[BenchmarkProfile]:
+    """Iterate the full 8-benchmark suite in canonical order."""
+    return iter(OPENMP_BENCHMARKS.values())

@@ -1,0 +1,25 @@
+"""BLCR: application-transparent single-process checkpoint/restart."""
+
+from .checkpoint import BLCRError, cr_checkpoint, cr_request_checkpoint
+from .context import (
+    BASE_SMALL_RECORDS,
+    BULK_CHUNK,
+    RECORDS_PER_THREAD,
+    SMALL_RECORD,
+    ProcessContext,
+    RegionImage,
+)
+from .restart import cr_restart
+
+__all__ = [
+    "BASE_SMALL_RECORDS",
+    "BLCRError",
+    "BULK_CHUNK",
+    "ProcessContext",
+    "RECORDS_PER_THREAD",
+    "RegionImage",
+    "SMALL_RECORD",
+    "cr_checkpoint",
+    "cr_request_checkpoint",
+    "cr_restart",
+]

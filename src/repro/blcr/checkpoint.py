@@ -1,0 +1,76 @@
+"""BLCR checkpoint path.
+
+``cr_checkpoint`` serializes a process through any
+:class:`~repro.osim.fd.FileDescriptor` — a local file, an NFS file, or a
+Snapify-IO socket. ``cr_request_checkpoint`` is the asynchronous entry point
+the paper's offload process uses: the capture request arrives over the
+daemon pipe, and the process checkpoints itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..osim.fd import FileDescriptor
+from ..osim.process import SimProcess
+from ..sim.errors import SimError
+from ..sim.events import Event
+from .context import RECORD_CPU_COST, ProcessContext
+
+
+def page_walk_cost(os_instance) -> float:
+    """Per-byte kernel cost of walking/copying process pages on this OS.
+
+    Nonzero on the Phi (slow in-order cores; see PhiParams.blcr_page_cost,
+    expressed per 4 KiB page), negligible on the host.
+    """
+    hw = getattr(os_instance, "hw", None)
+    node = getattr(hw, "node", None)
+    if node is None:
+        return 0.0  # host
+    return node.params.phi.blcr_page_cost / 4096.0
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Simulator
+
+
+class BLCRError(SimError):
+    """Checkpoint/restart failure."""
+
+
+def cr_checkpoint(proc: SimProcess, fd: FileDescriptor):
+    """Sub-generator: write ``proc``'s context through ``fd``.
+
+    Returns the captured :class:`ProcessContext`. State is copied atomically
+    at entry; the time is spent pushing it through the descriptor.
+    """
+    if not proc.alive:
+        raise BLCRError(f"cannot checkpoint dead process {proc.name}")
+    ctx = ProcessContext.capture(proc)
+    sim = proc.sim
+    per_byte = page_walk_cost(proc.os)
+    for nbytes, record in ctx.write_plan():
+        yield sim.timeout(RECORD_CPU_COST + per_byte * nbytes)
+        yield from fd.write(nbytes, record)
+    return ctx
+
+
+def cr_request_checkpoint(proc: SimProcess, fd: FileDescriptor) -> Event:
+    """Asynchronously checkpoint ``proc`` from within (returns a done event).
+
+    Mirrors BLCR's ``cr_request_checkpoint()``: the work happens on a thread
+    inside the target process; the returned event succeeds with the captured
+    context (or fails with the checkpoint error).
+    """
+    done = Event(proc.sim, name=f"ckpt:{proc.name}")
+
+    def _runner(proc: SimProcess = proc):
+        try:
+            ctx = yield from cr_checkpoint(proc, fd)
+        except SimError as exc:
+            done.fail(exc)
+            return
+        done.succeed(ctx)
+
+    proc.spawn_thread(_runner(), name="blcr-checkpoint")
+    return done

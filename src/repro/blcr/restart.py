@@ -1,0 +1,83 @@
+"""BLCR restart path.
+
+``cr_restart`` reads a context through a descriptor and rebuilds the process
+on a target OS: it re-maps every memory region (which can legitimately fail
+with :class:`~repro.hw.memory.MemoryExhausted` — restoring a big process
+onto a loaded card is exactly the hazard the paper describes), restores the
+store, and restarts the main program with ``_blcr_restored`` set so
+resumable programs take their restart branch.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from ..osim.fd import FileDescriptor
+from ..osim.process import OSInstance, SimProcess
+from .checkpoint import BLCRError, page_walk_cost
+from .context import BULK_CHUNK, RECORD_CPU_COST, SMALL_RECORD, ProcessContext
+
+
+def cr_restart(
+    os: OSInstance,
+    fd: FileDescriptor,
+    name: Optional[str] = None,
+    start: bool = True,
+):
+    """Sub-generator: rebuild a process from the context behind ``fd``.
+
+    Returns the new :class:`SimProcess`. The read pattern mirrors the write
+    pattern: a burst of small metadata reads, then bulk page reads.
+    """
+    sim = os.sim
+    per_byte = page_walk_cost(os)
+    ctx: Optional[ProcessContext] = None
+    # Metadata burst: read small records until the context header appears,
+    # then the remaining per-thread/per-region metadata records.
+    reads_done = 0
+    for _ in range(100_000):
+        yield sim.timeout(RECORD_CPU_COST)
+        record = yield from fd.read(SMALL_RECORD)
+        reads_done += 1
+        if isinstance(record, ProcessContext):
+            ctx = record
+            break
+    if ctx is None:
+        raise BLCRError("descriptor did not yield a process context")
+    for _ in range(max(0, ctx.n_small_records - reads_done)):
+        yield sim.timeout(RECORD_CPU_COST)
+        yield from fd.read(SMALL_RECORD)
+
+    # Rebuild the process shell first (fork+exec cost).
+    proc = yield from os.spawn_process(
+        name or ctx.name, image_size=0, main_factory=ctx.main_factory, start=False
+    )
+
+    # Bulk pages: each region is mapped (charging physical memory) while its
+    # bytes stream in through the descriptor. Region data and the store are
+    # DEEP-COPIED out of the context: a snapshot may be restored from many
+    # times (repeated failures), and restored processes must never share
+    # mutable state with the context or with each other.
+    try:
+        for region in ctx.regions:
+            proc.map_region(
+                region.name, region.size, kind=region.kind,
+                data=copy.deepcopy(region.data), pinned=region.pinned,
+            )
+            remaining = region.size
+            while remaining > 0:
+                chunk = min(remaining, BULK_CHUNK)
+                yield sim.timeout(per_byte * chunk)
+                yield from fd.read(chunk)
+                remaining -= chunk
+    except Exception:
+        # Failed restore must not leak the half-built process.
+        proc.terminate(code=1)
+        raise
+
+    proc.store.update(copy.deepcopy(ctx.store))
+    proc.store["_blcr_restored"] = True
+    if start:
+        proc.start()
+    return proc

@@ -1,0 +1,35 @@
+"""COI: the Coprocessor Offload Infrastructure of MPSS (simulated).
+
+Layers: :class:`COIEngine` (host entry point per card), :class:`COIDaemon`
+(one per card), :class:`COIProcess` (host-side process handle) and
+:class:`CardRuntime` (offload-process-side runtime), with buffers backed by
+card local-store files and a run-function pipeline.
+"""
+
+from .buffer import COIBuffer, localstore_dir, localstore_path
+from .daemon import COIDaemon, DaemonEntry
+from .engine import COIEngine
+from .pipeline import CardContext, OffloadBinary, OffloadFunction, PipelineError
+from .process import CardRuntime, COIProcess, card_main_factory
+from .services import ClientChannel, COIError, ServerLoop
+from . import messages
+
+__all__ = [
+    "COIBuffer",
+    "COIDaemon",
+    "COIEngine",
+    "COIError",
+    "COIProcess",
+    "CardContext",
+    "CardRuntime",
+    "ClientChannel",
+    "DaemonEntry",
+    "OffloadBinary",
+    "OffloadFunction",
+    "PipelineError",
+    "ServerLoop",
+    "card_main_factory",
+    "localstore_dir",
+    "localstore_path",
+    "messages",
+]

@@ -1,0 +1,42 @@
+"""COI buffers and the local store.
+
+A COI buffer's card-side backing is one *file* on the Phi's RAM file system
+("local store"), memory-mapped into the offload process. Two consequences
+the paper leans on, both preserved here:
+
+* local-store bytes are card *file-system* pages, not anonymous process
+  memory — so a BLCR snapshot of the offload process does **not** contain
+  them, and ``snapify_pause`` must save the local store separately;
+* the files persist until the offload process terminates, so the card
+  memory they pin is held for the process lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class COIBuffer:
+    """Host-side buffer handle.
+
+    ``rdma_offset`` is the offset returned when the buffer's card pages were
+    *first* registered; after a restore the card re-registers and the handle
+    keeps its original offset — translation happens through the COIProcess's
+    (old, new) address table, exactly as in §4.3 of the paper.
+    """
+
+    buf_id: int
+    size: int
+    rdma_offset: int
+    localstore_path: str
+
+
+def localstore_dir(pid: int) -> str:
+    """Where an offload process keeps its COI buffer files on the card."""
+    return f"/tmp/coi_procs/{pid}"
+
+
+def localstore_path(pid: int, buf_id: int) -> str:
+    return f"{localstore_dir(pid)}/buf_{buf_id}"

@@ -1,0 +1,34 @@
+"""Message type tags used on COI's SCIF channels and the daemon pipe."""
+
+# Daemon control plane (host <-> coi_daemon).
+LAUNCH = "coi.launch"
+LAUNCH_OK = "coi.launch.ok"
+SHUTDOWN_PROC = "coi.shutdown_proc"
+
+# Generic client-server channels (case 3 of the drain protocol).
+REQUEST = "coi.request"
+REPLY = "coi.reply"
+#: The special marker snapify_pause() injects: "no more commands will follow
+#: until snapify_resume() is called."
+SHUTDOWN = "snapify.shutdown"
+SHUTDOWN_ACK = "snapify.shutdown.ack"
+RESUME = "snapify.resume"
+
+# Pipeline channel (case 4).
+RUN_FUNCTION = "coi.pipeline.run"
+FUNCTION_RESULT = "coi.pipeline.result"
+
+# Buffer management RPCs over the cmd channel.
+BUFFER_CREATE = "coi.buffer.create"
+BUFFER_DESTROY = "coi.buffer.destroy"
+BUFFER_REREGISTER = "coi.buffer.reregister"
+
+# Event channel notifications (offload -> host).
+EVENT_FUNCTION_DONE = "coi.event.function_done"
+
+# Log channel records (offload -> host).
+LOG_RECORD = "coi.log.record"
+
+#: Channel names in creation order; host connects one SCIF connection per
+#: name when attaching to a (new or restored) offload process.
+CHANNELS = ("control", "cmd", "event", "log", "pipeline", "dma")

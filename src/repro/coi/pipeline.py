@@ -1,0 +1,85 @@
+"""Offload functions and binaries.
+
+The Xeon Phi compiler turns each offload region into a function stored in a
+dynamically loadable card binary. We model a binary as a named set of
+:class:`OffloadFunction` objects: each has a *duration* (simulated compute
+time on the card) and an optional *effect* — a callable that mutates card
+state (buffer payloads, the process store) exactly once, at completion.
+
+The effect-at-completion rule is what makes snapshots consistent: a snapshot
+taken mid-execution captures the pre-effect state plus the in-flight
+bookkeeping, so the restored process re-executes the remaining time and
+applies the effect exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
+
+from ..sim.errors import SimError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import CardRuntime
+
+
+class PipelineError(SimError):
+    """Run-function failures (unknown function, bad binary...)."""
+
+
+class CardContext:
+    """What an offload function sees while executing on the card."""
+
+    def __init__(self, runtime: "CardRuntime"):
+        self._rt = runtime
+        self.store = runtime.proc.store
+
+    def buffer_payload(self, buf_id: int) -> Any:
+        return self._rt.buffer_file(buf_id).payload
+
+    def set_buffer_payload(self, buf_id: int, payload: Any) -> None:
+        self._rt.buffer_file(buf_id).payload = payload
+
+    def map_region(self, name: str, size: int, kind: str = "heap") -> None:
+        """Allocate offload-private memory (e.g. an application heap)."""
+        self._rt.proc.map_region(name, size, kind=kind)
+
+    def has_region(self, name: str) -> bool:
+        return name in self._rt.proc.regions
+
+
+@dataclass(frozen=True)
+class OffloadFunction:
+    """One offload region compiled into the card binary."""
+
+    name: str
+    #: Simulated execution time: constant seconds or fn(args) -> seconds.
+    duration: Union[float, Callable[[Any], float]] = 0.0
+    #: Applied once at completion; returns the function's result value.
+    effect: Optional[Callable[[CardContext, Any], Any]] = None
+
+    def duration_for(self, args: Any) -> float:
+        d = self.duration(args) if callable(self.duration) else self.duration
+        if d < 0:
+            raise PipelineError(f"{self.name}: negative duration")
+        return float(d)
+
+    def apply(self, ctx: CardContext, args: Any) -> Any:
+        if self.effect is None:
+            return None
+        return self.effect(ctx, args)
+
+
+@dataclass(frozen=True)
+class OffloadBinary:
+    """The card-side shared library generated for an offload application."""
+
+    name: str
+    image_size: int
+    functions: Dict[str, OffloadFunction] = field(default_factory=dict)
+
+    def function(self, name: str) -> OffloadFunction:
+        fn = self.functions.get(name)
+        if fn is None:
+            raise PipelineError(f"binary {self.name!r} has no offload function {name!r}")
+        return fn

@@ -1,0 +1,142 @@
+"""Generic COI client-server channel machinery (drain case 3).
+
+COI internally runs several client/server thread pairs — commands
+(host -> offload), events and logs (offload -> host). Each server thread
+handles its channel *sequentially*; each client site is guarded by a mutex.
+Snapify's pause exploits exactly this structure: grab the client mutex (so
+no new request can start), then push a SHUTDOWN marker through the channel
+and wait for the ack — once the ack is back, every earlier message has been
+fully processed and the channel is provably empty.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..scif.endpoint import ConnectionReset, ScifEndpoint
+from ..sim.errors import Interrupted, SimError
+from ..sim.events import Event
+from ..sim.sync import Mutex
+from . import messages as m
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..osim.process import SimProcess
+    from ..sim.kernel import Simulator
+
+
+class COIError(SimError):
+    """COI-level failure."""
+
+
+class ClientChannel:
+    """Client side of a COI service channel.
+
+    All traffic goes through :meth:`rpc` (request/reply) or :meth:`notify`
+    (one-way), both serialized by ``mutex``. ``snapify_shutdown`` implements
+    the pause-side quiesce; ``snapify_release`` undoes it at resume.
+    """
+
+    def __init__(self, sim: "Simulator", ep: ScifEndpoint, name: str):
+        self.sim = sim
+        self.ep = ep
+        self.name = name
+        self.mutex = Mutex(sim, name=f"coi.client:{name}")
+        self.shut_down = False
+
+    def rebind(self, ep: ScifEndpoint) -> None:
+        """Point the client at a reconnected endpoint (after restore)."""
+        self.ep = ep
+
+    def rpc(self, msg: Any, nbytes: int = 64):
+        """Sub-generator: send a request and wait for its reply."""
+        yield self.mutex.acquire(owner="rpc")
+        try:
+            if self.shut_down:
+                raise COIError(f"{self.name}: channel is quiesced by snapify")
+            yield from self.ep.send(msg, nbytes)
+            reply = yield self.ep.recv()
+            return reply
+        finally:
+            self.mutex.release()
+
+    def notify(self, msg: Any, nbytes: int = 64):
+        """Sub-generator: one-way message (events, logs)."""
+        yield self.mutex.acquire(owner="notify")
+        try:
+            if self.shut_down:
+                raise COIError(f"{self.name}: channel is quiesced by snapify")
+            yield from self.ep.send(msg, nbytes)
+        finally:
+            self.mutex.release()
+
+    # -- snapify hooks ------------------------------------------------------
+    def snapify_shutdown(self):
+        """Sub-generator: acquire the client lock (kept!), send SHUTDOWN and
+        wait for the ack. On return the channel is empty in both directions
+        and no thread can inject new traffic until :meth:`snapify_release`."""
+        yield self.mutex.acquire(owner="snapify")
+        self.shut_down = True
+        yield from self.ep.send({"type": m.SHUTDOWN, "channel": self.name})
+        ack = yield self.ep.recv()
+        if not (isinstance(ack, dict) and ack.get("type") == m.SHUTDOWN_ACK):
+            raise COIError(f"{self.name}: bad shutdown ack {ack!r}")
+
+    def snapify_release(self) -> None:
+        """Release the lock taken by :meth:`snapify_shutdown` (resume path)."""
+        if not self.shut_down:
+            raise COIError(f"{self.name}: release without shutdown")
+        self.shut_down = False
+        self.mutex.release()
+
+
+class ServerLoop:
+    """Sequential server thread over one COI channel.
+
+    ``handler(msg)`` is a sub-generator returning an optional reply. The
+    loop acknowledges SHUTDOWN markers, survives connection resets while the
+    owning COIProcess is suspended (waiting to be rebound to a restored
+    peer), and dies quietly when its process is terminated.
+    """
+
+    def __init__(
+        self,
+        proc: "SimProcess",
+        ep: ScifEndpoint,
+        handler: Callable[[Any], Any],
+        name: str,
+    ):
+        self.proc = proc
+        self.sim = proc.sim
+        self.ep = ep
+        self.handler = handler
+        self.name = name
+        self.shutdowns_seen = 0
+        self.messages_handled = 0
+        self._rebound: Optional[Event] = None
+        self.thread = proc.spawn_thread(self._loop(), name=f"srv:{name}", daemon=True)
+
+    def rebind(self, ep: ScifEndpoint) -> None:
+        """Attach a new endpoint after the peer was restored."""
+        self.ep = ep
+        if self._rebound is not None and not self._rebound.triggered:
+            self._rebound.succeed(ep)
+
+    def _loop(self):
+        while True:
+            try:
+                msg = yield self.ep.recv()
+            except (ConnectionReset, Interrupted):
+                # Peer vanished: wait until someone rebinds us (restore), or
+                # die with the process (thread gets killed at terminate).
+                self._rebound = Event(self.sim, name=f"rebind:{self.name}")
+                yield self._rebound
+                self._rebound = None
+                continue
+            if isinstance(msg, dict) and msg.get("type") == m.SHUTDOWN:
+                self.shutdowns_seen += 1
+                yield from self.ep.send({"type": m.SHUTDOWN_ACK, "channel": self.name})
+                continue
+            self.messages_handled += 1
+            reply = yield from self.handler(msg)
+            if reply is not None:
+                yield from self.ep.send(reply)

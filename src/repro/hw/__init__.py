@@ -1,0 +1,50 @@
+"""Hardware models: PCIe, memory pools, disks, nodes and clusters."""
+
+from .cluster import Cluster
+from .memory import MemoryExhausted, PhysicalMemory
+from .node import DEVICE_TO_HOST, HOST_TO_DEVICE, PhiDevice, ServerNode
+from .params import (
+    GB,
+    KB,
+    MB,
+    DiskParams,
+    HardwareParams,
+    HostParams,
+    MemoryParams,
+    NetworkParams,
+    NFSParams,
+    PCIeParams,
+    PhiParams,
+    ScpParams,
+    SnapifyIOParams,
+    describe,
+)
+from .pcie import BandwidthLink, PCIeLink
+from .storage import HostDisk
+
+__all__ = [
+    "BandwidthLink",
+    "Cluster",
+    "DEVICE_TO_HOST",
+    "DiskParams",
+    "GB",
+    "HOST_TO_DEVICE",
+    "HardwareParams",
+    "HostDisk",
+    "HostParams",
+    "KB",
+    "MB",
+    "MemoryExhausted",
+    "MemoryParams",
+    "NFSParams",
+    "NetworkParams",
+    "PCIeLink",
+    "PCIeParams",
+    "PhiDevice",
+    "PhiParams",
+    "PhysicalMemory",
+    "ScpParams",
+    "ServerNode",
+    "SnapifyIOParams",
+    "describe",
+]

@@ -1,0 +1,69 @@
+"""Result tables for the benchmark harness.
+
+Every benchmark prints a :class:`ResultTable` whose rows pair our measured
+(simulated) values with the paper's reported values or qualitative claims,
+so ``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation
+section in readable form. EXPERIMENTS.md is written from the same tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .hw.params import GB, KB, MB
+
+
+def fmt_bytes(n: float) -> str:
+    if n >= GB:
+        return f"{n / GB:.2f} GB"
+    if n >= MB:
+        return f"{n / MB:.1f} MB"
+    if n >= KB:
+        return f"{n / KB:.1f} KB"
+    return f"{int(n)} B"
+
+
+def fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+class ResultTable:
+    """A fixed-column text table with a title and optional notes."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+        self.notes: List[str] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append([str(v) for v in values])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} =="]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,6 @@
+"""MPI substrate and coordinated checkpoint/restart for offload jobs."""
+
+from .cr import mpi_checkpoint, mpi_restart, rank_snapshot_path
+from .runtime import MPIComm, MPIError
+
+__all__ = ["MPIComm", "MPIError", "mpi_checkpoint", "mpi_restart", "rank_snapshot_path"]

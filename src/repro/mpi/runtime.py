@@ -1,0 +1,73 @@
+"""A small MPI substrate over the simulated cluster fabric.
+
+Point-to-point messages are *tagged* and matched by (source, tag): restarted
+ranks may legitimately re-send a message another rank already consumed, and
+tag matching makes the duplicate harmless — the property the coordinated
+checkpoint protocol of :mod:`repro.mpi.cr` relies on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from ..sim.errors import SimError
+from ..sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..testbed import XeonPhiCluster
+
+
+class MPIError(SimError):
+    """MPI substrate failure."""
+
+
+class MPIComm:
+    """Communicator binding one rank per cluster node."""
+
+    def __init__(self, cluster: "XeonPhiCluster", n_ranks: int):
+        if n_ranks > len(cluster):
+            raise MPIError(f"{n_ranks} ranks > {len(cluster)} nodes")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.n_ranks = n_ranks
+        #: (dst, src, tag) -> payload (delivered, unconsumed)
+        self._delivered: Dict[Tuple[int, int, Any], Any] = {}
+        #: (dst, src, tag) -> waiting event
+        self._waiters: Dict[Tuple[int, int, Any], Event] = {}
+        self.messages_sent = 0
+
+    def send(self, src: int, dst: int, tag: Any, nbytes: int, payload: Any = None):
+        """Sub-generator: eager tagged send (re-sends of a consumed tag are
+        dropped on the floor, making restart-induced duplicates safe)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        yield from self.cluster.cluster.transfer(src, dst, nbytes)
+        self.messages_sent += 1
+        key = (dst, src, tag)
+        waiter = self._waiters.pop(key, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(payload)
+        else:
+            self._delivered.setdefault(key, payload)
+
+    def recv(self, dst: int, src: int, tag: Any) -> Event:
+        """Event for the (src, tag) message addressed to ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        key = (dst, src, tag)
+        ev = Event(self.sim, name=f"mpi.recv:{key}")
+        if key in self._delivered:
+            ev.succeed(self._delivered.pop(key))
+        else:
+            if key in self._waiters and not self._waiters[key].triggered:
+                raise MPIError(f"double recv on {key}")
+            self._waiters[key] = ev
+        return ev
+
+    def pending_messages(self) -> int:
+        """Delivered-but-unconsumed messages (drain probe for checkpoints)."""
+        return len(self._delivered)
+
+    def _check_rank(self, r: int) -> None:
+        if not (0 <= r < self.n_ranks):
+            raise MPIError(f"bad rank {r}")

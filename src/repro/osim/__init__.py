@@ -1,0 +1,35 @@
+"""Simulated OS substrate: processes, signals, pipes, sockets, file systems."""
+
+from . import signals
+from .boot import boot_host, boot_node, boot_phi
+from .fd import FDError, FileDescriptor, RegularFileFD
+from .fs import File, FileSystem, FSError, HostFileSystem, RamFileSystem
+from .pipes import DuplexPipe, PipeEnd, UnixPipe
+from .process import MemoryRegion, OSInstance, ProcessError, SimProcess
+from .sockets import Listener, SocketError, SocketNamespace, UnixSocket
+
+__all__ = [
+    "DuplexPipe",
+    "FDError",
+    "File",
+    "FileDescriptor",
+    "FileSystem",
+    "FSError",
+    "HostFileSystem",
+    "Listener",
+    "MemoryRegion",
+    "OSInstance",
+    "PipeEnd",
+    "ProcessError",
+    "RamFileSystem",
+    "RegularFileFD",
+    "SimProcess",
+    "SocketError",
+    "SocketNamespace",
+    "UnixPipe",
+    "UnixSocket",
+    "boot_host",
+    "boot_node",
+    "boot_phi",
+    "signals",
+]

@@ -1,0 +1,31 @@
+"""Signal numbers and default dispositions for simulated processes.
+
+Snapify's control plane is signal-driven at two points: the COI daemon
+signals the offload process to make it read the pause request from the
+daemon pipe, and the ``snapify`` command-line utility signals the *host*
+process to trigger swap/migration handlers. BLCR's checkpoint request is
+likewise delivered as a signal on the real system.
+"""
+
+from __future__ import annotations
+
+SIGKILL = 9
+SIGUSR1 = 10
+SIGUSR2 = 12
+SIGTERM = 15
+#: BLCR's out-of-band checkpoint-request signal (real BLCR uses a dedicated
+#: real-time signal; the number is arbitrary in the simulation).
+SIGCKPT = 64
+#: Snapify's "read the daemon pipe" nudge to the offload process.
+SIGSNAPIFY = 65
+
+#: Signals whose default action terminates the process.
+_FATAL_BY_DEFAULT = frozenset({SIGKILL, SIGTERM})
+
+
+def default_is_fatal(signum: int) -> bool:
+    return signum in _FATAL_BY_DEFAULT
+
+
+def can_be_caught(signum: int) -> bool:
+    return signum != SIGKILL

@@ -1,0 +1,151 @@
+"""UNIX-domain sockets.
+
+The Snapify-IO library talks to its local daemon over a UNIX socket whose
+descriptor is what ``snapifyio_open()`` hands back to the caller (and hence
+to BLCR). Data copied through a socket costs memcpy-class bandwidth —
+non-trivial on the Phi's slow scalar cores, which is why the socket stage is
+one of the pipeline bottlenecks of Snapify-IO's end-to-end throughput.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from ..sim.channel import Channel
+from ..sim.errors import SimError
+from ..sim.events import Event
+from .fd import FileDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Simulator
+
+
+class SocketError(SimError):
+    """Connection failures and misuse."""
+
+
+class _Datagram:
+    __slots__ = ("nbytes", "record")
+
+    def __init__(self, nbytes: int, record: Any):
+        self.nbytes = nbytes
+        self.record = record
+
+
+class UnixSocket(FileDescriptor):
+    """One endpoint of a connected UNIX socket pair.
+
+    ``write(nbytes, record)`` charges ``nbytes / bandwidth`` (the copy into
+    the kernel buffer) and delivers to the peer; ``read`` blocks for the
+    next datagram. EOF (peer closed) is returned as ``None`` from ``recv``
+    style reads, mirroring ``read() == 0``.
+    """
+
+    def __init__(self, sim: "Simulator", bandwidth: float, name: str = "unixsock"):
+        super().__init__(sim, name=name)
+        self.bandwidth = bandwidth
+        self._rx = Channel(sim, name=f"{name}.rx")
+        self.peer: Optional["UnixSocket"] = None
+
+    @staticmethod
+    def pair(sim: "Simulator", bandwidth: float, name: str = "unixsock") -> Tuple["UnixSocket", "UnixSocket"]:
+        a = UnixSocket(sim, bandwidth, name=f"{name}.a")
+        b = UnixSocket(sim, bandwidth, name=f"{name}.b")
+        a.peer, b.peer = b, a
+        return a, b
+
+    # -- FileDescriptor interface ------------------------------------------
+    def write(self, nbytes: int, record: Any = None):
+        self._check_open()
+        if self.peer is None:
+            raise SocketError(f"{self.name}: not connected")
+        if self.peer.closed:
+            raise SocketError(f"{self.name}: peer closed (EPIPE)")
+        yield self.sim.timeout(nbytes / self.bandwidth)
+        yield self.peer._rx.send(_Datagram(nbytes, record))
+        self.bytes_written += nbytes
+
+    def read(self, nbytes: int = 0):
+        """Sub-generator: next datagram's record (None on EOF)."""
+        self._check_open()
+        dg = yield self._recv_event()
+        if dg is None:
+            return None
+        self.bytes_read += dg.nbytes
+        return dg.record
+
+    def read_datagram(self):
+        """Sub-generator: (nbytes, record) of the next datagram, (0, None) on EOF."""
+        self._check_open()
+        dg = yield self._recv_event()
+        if dg is None:
+            return 0, None
+        self.bytes_read += dg.nbytes
+        return dg.nbytes, dg.record
+
+    def _recv_event(self) -> Event:
+        ev = Event(self.sim, name=f"{self.name}.read")
+        inner = self._rx.recv()
+
+        def on_inner(inner_ev: Event) -> None:
+            if ev.triggered:
+                return
+            if inner_ev.ok:
+                ev.succeed(inner_ev._value)
+            else:
+                ev.succeed(None)  # closed channel -> EOF, not error
+
+        inner.add_callback(on_inner)
+        return ev
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        # Deliver EOF to the peer: its pending/future reads see None.
+        self._rx.close()
+        if self.peer is not None and not self.peer.closed:
+            self.peer._rx.close()
+
+
+class SocketNamespace:
+    """Per-OS registry of listening UNIX sockets (the "filesystem paths")."""
+
+    def __init__(self, sim: "Simulator", default_bandwidth: float):
+        self.sim = sim
+        self.default_bandwidth = default_bandwidth
+        self._listeners: Dict[str, Channel] = {}
+
+    def listen(self, address: str) -> "Listener":
+        if address in self._listeners:
+            raise SocketError(f"address already in use: {address!r}")
+        backlog = Channel(self.sim, name=f"listen:{address}")
+        self._listeners[address] = backlog
+        return Listener(self, address, backlog)
+
+    def connect(self, address: str, bandwidth: Optional[float] = None):
+        """Sub-generator: connect to a listener; returns the client socket."""
+        backlog = self._listeners.get(address)
+        if backlog is None:
+            raise SocketError(f"connection refused: {address!r}")
+        bw = bandwidth or self.default_bandwidth
+        client, server = UnixSocket.pair(self.sim, bw, name=f"conn:{address}")
+        yield backlog.send(server)
+        return client
+
+
+class Listener:
+    """Accept side of a listening UNIX socket."""
+
+    def __init__(self, ns: SocketNamespace, address: str, backlog: Channel):
+        self._ns = ns
+        self.address = address
+        self._backlog = backlog
+
+    def accept(self) -> Event:
+        """Event that succeeds with the next accepted server-side socket."""
+        return self._backlog.recv()
+
+    def close(self) -> None:
+        self._ns._listeners.pop(self.address, None)
+        self._backlog.close()

@@ -1,0 +1,89 @@
+"""Fault injection for the resiliency scenarios.
+
+A coprocessor failure kills every process on the card and takes the device
+out of service. Failures can be announced ahead of time through degradation
+telemetry — the hook the failure predictor (and hence proactive migration,
+one of the paper's §1 motivations) consumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..hw.node import PhiDevice
+from ..sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Simulator
+
+
+class FaultInjector:
+    """Schedules and executes coprocessor failures."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.failed: List[PhiDevice] = []
+        #: Subscribers to degradation telemetry: fn(device, time_to_failure).
+        self.telemetry: List[Callable[[PhiDevice, float], None]] = []
+
+    def schedule_card_failure(
+        self,
+        phi: PhiDevice,
+        at: float,
+        warning_lead: Optional[float] = None,
+        repair_after: Optional[float] = None,
+    ) -> Event:
+        """Fail ``phi`` at absolute simulated time ``at``.
+
+        With ``warning_lead``, degradation telemetry fires that many seconds
+        earlier (correctable-error storms precede most real card failures).
+        With ``repair_after``, the card is reset/replaced that many seconds
+        after the failure: its service daemons (COI, Snapify-IO) are
+        re-booted and the card rejoins the healthy pool.
+        Returns the event that triggers at the moment of failure.
+        """
+        if at < self.sim.now:
+            raise ValueError("cannot schedule a failure in the past")
+        failed_ev = Event(self.sim, name=f"fault:{phi!r}")
+        if warning_lead is not None and warning_lead > 0:
+            warn_at = max(self.sim.now, at - warning_lead)
+            self.sim.schedule(warn_at - self.sim.now, self._warn, phi, at - warn_at)
+        self.sim.schedule(at - self.sim.now, self._fail, phi, failed_ev)
+        if repair_after is not None:
+            if repair_after <= 0:
+                raise ValueError("repair_after must be positive")
+            self.sim.schedule(at + repair_after - self.sim.now, self._repair, phi)
+        return failed_ev
+
+    def _warn(self, phi: PhiDevice, time_to_failure: float) -> None:
+        for subscriber in list(self.telemetry):
+            subscriber(phi, time_to_failure)
+
+    def _fail(self, phi: PhiDevice, ev: Event) -> None:
+        if phi in self.failed:
+            return
+        self.failed.append(phi)
+        phi.failed = True  # type: ignore[attr-defined]
+        if phi.os is not None:
+            for proc in list(phi.os.processes.values()):
+                proc.terminate(code=139)
+        ev.succeed(phi)
+
+    def _repair(self, phi: PhiDevice) -> None:
+        """The card was reset/replaced: re-boot its service daemons."""
+        if phi not in self.failed:
+            return
+        self.failed.remove(phi)
+        phi.failed = False  # type: ignore[attr-defined]
+
+        def reboot(sim):
+            from ..coi.daemon import COIDaemon
+            from ..snapify_io.daemon import SnapifyIODaemon
+
+            yield from COIDaemon.boot(phi)
+            yield from SnapifyIODaemon.boot(phi.os)
+
+        self.sim.spawn(reboot(self.sim), name=f"repair:{phi!r}", daemon=True)
+
+    def is_failed(self, phi: PhiDevice) -> bool:
+        return phi in self.failed

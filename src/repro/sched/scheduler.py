@@ -1,0 +1,118 @@
+"""A multi-tenant card scheduler built on process swapping.
+
+§1's motivation: the Phi's 8 GB and its pinned COI buffers put a hard cap on
+co-resident offload processes, and OS paging can't help. A COSMIC-style
+scheduler instead *swaps whole offload processes* to host storage: when a
+queued job doesn't fit, the scheduler swaps out the resident job with the
+largest footprint, runs the newcomer, and swaps the victim back in when
+memory frees up.
+
+This is the paper's intended consumer of ``snapify_swapout``/``swapin``
+(the resource-contention policy it explicitly scopes out is exactly what
+lives here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..coi.engine import COIEngine
+from ..osim.process import SimProcess
+from ..snapify.cli import SWAP_IN, SWAP_OUT, snapify_command
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..testbed import XeonPhiServer
+
+
+@dataclass
+class TenantJob:
+    """One scheduled offload application."""
+
+    host_proc: SimProcess
+    device: int
+    #: Card bytes the job pins (offload heap + local store + image).
+    footprint: int
+    state: str = "resident"  # resident | swapped
+    swap_count: int = 0
+
+
+class SwapScheduler:
+    """Greedy largest-victim swapping policy for one card."""
+
+    def __init__(self, server: "XeonPhiServer", device: int = 0,
+                 headroom: int = 512 * 1024 * 1024):
+        self.server = server
+        self.sim = server.sim
+        self.device = device
+        self.phi = server.node.phis[device]
+        #: Keep this much card memory free for the OS and RAM-FS churn.
+        self.headroom = headroom
+        self.jobs: Dict[int, TenantJob] = {}
+        self.swap_events: List[tuple] = []
+
+    # -- bookkeeping -------------------------------------------------------------
+    def register(self, host_proc: SimProcess, footprint: int) -> TenantJob:
+        job = TenantJob(host_proc=host_proc, device=self.device, footprint=footprint)
+        self.jobs[host_proc.pid] = job
+        return job
+
+    def resident_jobs(self) -> List[TenantJob]:
+        return [j for j in self.jobs.values() if j.state == "resident"]
+
+    def swapped_jobs(self) -> List[TenantJob]:
+        return [j for j in self.jobs.values() if j.state == "swapped"]
+
+    def _free_after(self, incoming: int) -> int:
+        return self.phi.memory.available - incoming - self.headroom
+
+    # -- policy ------------------------------------------------------------------
+    def make_room(self, incoming: int):
+        """Sub-generator: swap out the largest residents until ``incoming``
+        bytes fit (plus headroom). Returns the list of victims swapped."""
+        victims = []
+        while self._free_after(incoming) < 0:
+            candidates = sorted(
+                self.resident_jobs(), key=lambda j: j.footprint, reverse=True
+            )
+            if not candidates:
+                break  # nothing left to evict; the launch may still OOM
+            victim = candidates[0]
+            yield from self._swap_out(victim)
+            victims.append(victim)
+        return victims
+
+    def reclaim(self):
+        """Sub-generator: swap jobs back in while they fit (smallest first,
+        to maximize the number of running tenants)."""
+        brought_back = []
+        for job in sorted(self.swapped_jobs(), key=lambda j: j.footprint):
+            if self._free_after(job.footprint) < 0:
+                break
+            yield from self._swap_in(job)
+            brought_back.append(job)
+        return brought_back
+
+    def job_finished(self, host_proc: SimProcess):
+        """Sub-generator: drop a finished job and reclaim swapped tenants."""
+        self.jobs.pop(host_proc.pid, None)
+        result = yield from self.reclaim()
+        return result
+
+    # -- mechanics ----------------------------------------------------------------
+    def _swap_out(self, job: TenantJob):
+        done = snapify_command(
+            job.host_proc, SWAP_OUT,
+            snapshot_path=f"/swap/job_{job.host_proc.pid}",
+        )
+        yield done
+        job.state = "swapped"
+        job.swap_count += 1
+        self.swap_events.append(("out", job.host_proc.name, self.sim.now))
+
+    def _swap_in(self, job: TenantJob):
+        engine = COIEngine(self.server.node, self.device)
+        done = snapify_command(job.host_proc, SWAP_IN, engine=engine)
+        yield done
+        job.state = "resident"
+        self.swap_events.append(("in", job.host_proc.name, self.sim.now))

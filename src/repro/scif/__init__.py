@@ -1,0 +1,24 @@
+"""SCIF: the Symmetric Communications Interface of MPSS (simulated)."""
+
+from .endpoint import ConnectionReset, ScifEndpoint, ScifError, ScifListener, ScifNetwork
+from .ports import COI_DAEMON_PORT, EPHEMERAL_BASE, SNAPIFY_IO_PORT
+from .rdma import scif_readfrom, scif_vreadfrom, scif_vwriteto, scif_writeto
+from .registry import RdmaRegistry, scif_register, scif_unregister
+
+__all__ = [
+    "COI_DAEMON_PORT",
+    "ConnectionReset",
+    "EPHEMERAL_BASE",
+    "RdmaRegistry",
+    "SNAPIFY_IO_PORT",
+    "ScifEndpoint",
+    "ScifError",
+    "ScifListener",
+    "ScifNetwork",
+    "scif_readfrom",
+    "scif_register",
+    "scif_unregister",
+    "scif_vreadfrom",
+    "scif_vwriteto",
+    "scif_writeto",
+]

@@ -1,0 +1,12 @@
+"""Well-known SCIF port numbers used by the simulated MPSS stack."""
+
+#: The COI daemon listens on the same fixed port on every card, which is why
+#: the paper picks it as the pause coordinator ("each daemon listens to the
+#: same fixed SCIF port number").
+COI_DAEMON_PORT = 100
+
+#: Each Snapify-IO daemon's remote server thread listens here.
+SNAPIFY_IO_PORT = 200
+
+#: Base for dynamically assigned client ports.
+EPHEMERAL_BASE = 1024

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate of the whole reproduction: simulated threads
+(generators yielding :class:`Event` objects), a deterministic scheduler,
+synchronization primitives with FIFO handoff, and message channels.
+"""
+
+from .channel import Channel, ChannelClosed
+from .errors import DeadlockError, Interrupted, SimError, SimTimeLimit, ThreadKilled
+from .events import AllOf, AnyOf, Event, Timeout
+from .kernel import Simulator, Thread
+from .sync import Barrier, Condition, Mutex, Semaphore
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "Channel",
+    "ChannelClosed",
+    "Condition",
+    "DeadlockError",
+    "Event",
+    "Interrupted",
+    "Mutex",
+    "Semaphore",
+    "SimError",
+    "SimTimeLimit",
+    "Simulator",
+    "Thread",
+    "ThreadKilled",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the discrete-event simulation kernel.
+
+Every error raised by the kernel or by simulated OS/hardware layers derives
+from :class:`SimError`, so callers can distinguish simulation-infrastructure
+failures from plain Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation errors."""
+
+
+class Interrupted(SimError):
+    """Raised inside a thread that was interrupted while blocked.
+
+    The ``cause`` attribute carries the object passed to
+    :meth:`repro.sim.kernel.Thread.interrupt` (often an exception or a
+    simulated signal), mirroring how a POSIX ``EINTR`` carries no payload but
+    the surrounding runtime knows why the wait was abandoned.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class ThreadKilled(SimError):
+    """Raised inside a thread generator when its process is being destroyed."""
+
+
+class DeadlockError(SimError):
+    """The event heap ran dry while live threads were still blocked."""
+
+
+class SimTimeLimit(SimError):
+    """``Simulator.run(until=...)`` hit its time limit before quiescence."""

@@ -1,0 +1,186 @@
+"""Events: the single blocking primitive of the simulation kernel.
+
+A simulated thread blocks by ``yield``-ing an :class:`Event`. The kernel
+resumes the thread when the event *triggers* — either successfully (the
+thread's ``yield`` expression evaluates to the event's value) or with a
+failure (the stored exception is re-raised at the ``yield`` site).
+
+All higher-level primitives (timeouts, locks, channels, pipes, RDMA
+completions, process exits) bottom out in events, which keeps the kernel's
+scheduling rules in one place and makes the whole stack deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .kernel import Simulator
+
+PENDING = "pending"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+
+
+class Event:
+    """A one-shot occurrence that threads can wait on.
+
+    Events trigger exactly once. Waiters registered after the trigger are
+    resumed immediately (at the current simulation time), so there is no
+    lost-wakeup hazard.
+    """
+
+    __slots__ = ("sim", "name", "_state", "_value", "_exc", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._state = PENDING
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def ok(self) -> bool:
+        return self._state == SUCCEEDED
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise RuntimeError(f"event {self.name!r} has not triggered yet")
+        if self._state == FAILED:
+            raise self._exc  # type: ignore[misc]
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters."""
+        if self._state != PENDING:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self._state = SUCCEEDED
+        self._value = value
+        self._fire()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception, waking all waiters."""
+        if self._state != PENDING:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = FAILED
+        self._exc = exc
+        self._fire()
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    # -- waiter registration (kernel API) ----------------------------------
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb``; invoked immediately if already triggered."""
+        if self.triggered:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        try:
+            self._callbacks.remove(cb)
+        except ValueError:
+            pass
+
+    @property
+    def abandoned(self) -> bool:
+        """Pending with no listeners: its only waiter was interrupted/killed.
+
+        Handoff primitives (mutexes, semaphores, channels) must skip
+        abandoned waiters or ownership/messages leak into the void.
+        """
+        return self._state == PENDING and not self._callbacks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Event {self.name!r} {self._state}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        sim.schedule(delay, self.succeed, value)
+
+
+class AnyOf(Event):
+    """Triggers when the first of ``events`` triggers.
+
+    The value is the ``(index, event)`` pair of the first trigger. A failure
+    of the first-triggering event propagates.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim, name=f"anyof[{len(events)}]")
+        self.events = list(events)
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self.events):
+            ev.add_callback(self._make_cb(i))
+
+    def _make_cb(self, index: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev.ok:
+                self.succeed((index, ev))
+            else:
+                self.fail(ev.exception)  # type: ignore[arg-type]
+
+        return cb
+
+
+class AllOf(Event):
+    """Triggers when every one of ``events`` has triggered successfully.
+
+    The value is the list of all event values, in order. The first failure
+    fails the composite immediately.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim, name=f"allof[{len(events)}]")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self.events])

@@ -1,0 +1,249 @@
+"""The discrete-event simulation kernel.
+
+The kernel runs *simulated threads* — Python generators that ``yield``
+:class:`~repro.sim.events.Event` objects to block. Scheduling is strictly
+deterministic: ties in simulated time are broken by a global sequence
+counter, so a given seed and workload always produce the same interleaving.
+
+Threads compose with ``yield from``, which is how the higher layers (OS,
+SCIF, COI, Snapify) build blocking "system calls" out of one another.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .errors import DeadlockError, Interrupted, SimTimeLimit, ThreadKilled
+from .events import AllOf, AnyOf, Event, Timeout
+from .trace import Tracer
+
+SimGen = Generator[Event, Any, Any]
+
+
+class Thread:
+    """A simulated thread of execution.
+
+    Wraps a generator. The thread's completion is itself observable through
+    :attr:`done`, an event that succeeds with the generator's return value or
+    fails with its uncaught exception — making ``join`` a plain event wait.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sim: "Simulator", gen: SimGen, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.tid = next(Thread._ids)
+        self.name = name or f"thread-{self.tid}"
+        self.done = Event(sim, name=f"done:{self.name}")
+        self._waiting_on: Optional[Event] = None
+        self._resume_cb: Optional[Callable[[Event], None]] = None
+        self.daemon = False  # daemon threads don't count for quiescence
+
+    # -- state -------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self.done.triggered
+
+    @property
+    def blocked_on(self) -> Optional[Event]:
+        return self._waiting_on
+
+    # -- kernel stepping ----------------------------------------------------
+    def _step(self, send_value: Any = None, throw_exc: Optional[BaseException] = None) -> None:
+        if self.done.triggered:
+            # Killed/finished while a resumption was already scheduled.
+            return
+        self._waiting_on = None
+        self._resume_cb = None
+        try:
+            if throw_exc is not None:
+                target = self.gen.throw(throw_exc)
+            else:
+                target = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - thread death is reported
+            self.sim.trace.emit("thread.error", thread=self.name, error=repr(exc))
+            self.sim._dead_threads.append((self, exc))
+            self.done.fail(exc)
+            if self.sim.strict:
+                raise
+            return
+        if not isinstance(target, Event):
+            exc2 = TypeError(
+                f"thread {self.name!r} yielded {target!r}; threads must yield Event objects"
+            )
+            self.sim._dead_threads.append((self, exc2))
+            self.done.fail(exc2)
+            if self.sim.strict:
+                raise exc2
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, event: Event) -> None:
+        self._waiting_on = event
+
+        def resume(ev: Event) -> None:
+            # A stale callback (thread was interrupted/killed meanwhile).
+            if self._resume_cb is not resume:
+                return
+            # Clear wait state now so a signal landing between the event
+            # trigger and the actual step cannot double-resume the thread.
+            self._waiting_on = None
+            self._resume_cb = None
+            if ev.ok:
+                self.sim._ready(self, ev._value, None)
+            else:
+                self.sim._ready(self, None, ev.exception)
+
+        self._resume_cb = resume
+        event.add_callback(resume)
+
+    # -- control ------------------------------------------------------------
+    def interrupt(self, cause: object = None) -> None:
+        """Interrupt the thread if it is blocked.
+
+        The blocked ``yield`` raises :class:`Interrupted` inside the thread.
+        Interrupting a thread that is not blocked (running or finished) is a
+        no-op, matching the fire-and-forget nature of signal delivery.
+        """
+        if not self.alive or self._waiting_on is None:
+            return
+        ev = self._waiting_on
+        cb = self._resume_cb
+        if cb is not None:
+            ev.remove_callback(cb)
+        self._waiting_on = None
+        self._resume_cb = None
+        self.sim._ready(self, None, Interrupted(cause))
+
+    def kill(self) -> None:
+        """Destroy the thread without running it further.
+
+        Cleanup clauses (``finally``) in the generator run via ``close()``;
+        the done event fails with :class:`ThreadKilled`.
+        """
+        if not self.alive:
+            return
+        if self._waiting_on is not None and self._resume_cb is not None:
+            self._waiting_on.remove_callback(self._resume_cb)
+        self._waiting_on = None
+        self._resume_cb = None
+        try:
+            self.gen.close()
+        except BaseException:  # pragma: no cover - generator misbehaviour
+            pass
+        if not self.done.triggered:
+            self.done.fail(ThreadKilled(self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if not self.alive else ("blocked" if self._waiting_on else "ready")
+        return f"<Thread {self.name} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        t = sim.spawn(worker(sim), name="worker")
+        sim.run()
+        assert sim.now == 1.5 and t.done.value == "done"
+    """
+
+    def __init__(self, *, strict: bool = False, trace: bool = False):
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = itertools.count()
+        self.strict = strict
+        self.trace = Tracer(self, enabled=trace)
+        self.threads: List[Thread] = []
+        self._dead_threads: List = []
+
+    # -- low-level scheduling ------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+
+    def _ready(self, thread: Thread, value: Any, exc: Optional[BaseException]) -> None:
+        self.schedule(0.0, thread._step, value, exc)
+
+    # -- thread / event factories ---------------------------------------------
+    def spawn(self, gen: SimGen, name: str = "", daemon: bool = False) -> Thread:
+        """Create a thread from a generator and schedule its first step."""
+        if not hasattr(gen, "send"):
+            raise TypeError("spawn() needs a generator (call the generator function)")
+        t = Thread(self, gen, name=name)
+        t.daemon = daemon
+        self.threads.append(t)
+        self.schedule(0.0, t._step, None, None)
+        return t
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, list(events))
+
+    # -- run loop ------------------------------------------------------------
+    def run(self, until: Optional[float] = None, *, check_deadlock: bool = True) -> float:
+        """Run until quiescence (or simulated time ``until``).
+
+        Returns the final simulated time. With ``check_deadlock`` (default),
+        raises :class:`DeadlockError` if the heap drains while non-daemon
+        threads are still blocked — the classic symptom of a protocol bug
+        such as an un-released lock or an un-drained channel.
+        """
+        while self._heap:
+            t, _, fn, args = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            fn(*args)
+        if check_deadlock:
+            stuck = [
+                th for th in self.threads if th.alive and not th.daemon and th.blocked_on is not None
+            ]
+            if stuck:
+                names = ", ".join(
+                    f"{th.name} on {th.blocked_on and th.blocked_on.name!r}" for th in stuck[:12]
+                )
+                raise DeadlockError(f"{len(stuck)} thread(s) blocked at t={self.now:g}: {names}")
+        return self.now
+
+    def run_until(self, event: Event, *, limit: float = 1e12) -> Any:
+        """Run until ``event`` triggers; return its value (or raise its error)."""
+        while not event.triggered:
+            if not self._heap:
+                raise DeadlockError(f"event {event.name!r} can never trigger (heap empty)")
+            t, _, fn, args = heapq.heappop(self._heap)
+            if t > limit:
+                raise SimTimeLimit(f"exceeded t={limit:g} waiting for {event.name!r}")
+            self.now = t
+            fn(*args)
+        return event.value
+
+    # -- diagnostics -----------------------------------------------------------
+    def failed_threads(self) -> List:
+        """(thread, exception) pairs for threads that died with an error."""
+        return list(self._dead_threads)

@@ -1,0 +1,65 @@
+"""Structured tracing for the simulation.
+
+Protocol tests assert on trace event ordering (e.g. "no RDMA transfer occurs
+between pause-complete and resume"), so the tracer keeps structured records
+rather than formatted strings. Tracing is off by default and costs one
+attribute check per emit when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:12.6f}] {self.category}: {kv}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, sim: "Simulator", enabled: bool = False):
+        self._sim = sim
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self.sinks: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, category: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        rec = TraceRecord(self._sim.now, category, fields)
+        self.records.append(rec)
+        for sink in self.sinks:
+            sink(rec)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def find(self, category: str, **match: Any) -> List[TraceRecord]:
+        """Records of ``category`` whose fields contain all of ``match``."""
+        out = []
+        for rec in self.records:
+            if rec.category != category:
+                continue
+            if all(rec.fields.get(k) == v for k, v in match.items()):
+                out.append(rec)
+        return out
+
+    def first_time(self, category: str, **match: Any) -> Optional[float]:
+        recs = self.find(category, **match)
+        return recs[0].time if recs else None
+
+    def last_time(self, category: str, **match: Any) -> Optional[float]:
+        recs = self.find(category, **match)
+        return recs[-1].time if recs else None

@@ -1,0 +1,116 @@
+"""The Snapify card agent: the offload-process side of the protocol.
+
+When the COI daemon receives a pause request it opens a pipe to the offload
+process and signals it; the signal handler (installed by the Snapify-
+modified COI runtime) attaches this agent to the pipe. The agent then
+services pause / capture / resume requests arriving over the pipe:
+
+* **pause** — quiesce the card side of every SCIF channel (drain cases 3
+  and 4), then save the local store to the host snapshot directory through
+  Snapify-IO.
+* **capture** — run BLCR against a Snapify-IO descriptor so the context
+  streams straight to the host file system.
+* **resume** — release every lock taken by the pause.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..blcr import cr_request_checkpoint
+from ..coi.process import CardRuntime
+from ..osim.process import SimProcess
+from ..snapify_io.library import snapifyio_open
+from . import constants as c
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..osim.pipes import DuplexPipe
+
+
+def install_signal_handler(proc: SimProcess) -> None:
+    """Install the SIGSNAPIFY handler that attaches the agent to the pipe
+    the daemon just created (step 2 of Fig. 3)."""
+    from ..osim import signals as sig
+
+    def handler(proc: SimProcess, signum: int):
+        pipe_end = proc.runtime.pop("snapify_pipe_pending", None)
+        if pipe_end is None:
+            return  # spurious signal
+        proc.runtime["snapify_pipe"] = pipe_end
+        yield from pipe_end.send({"t": c.PAUSE_ACK})
+        yield from agent_loop(proc, pipe_end)
+
+    proc.install_signal_handler(sig.SIGSNAPIFY, handler)
+
+
+def attach_restored_agent(proc: SimProcess) -> None:
+    """Restored offload processes get their pipe at creation (no signal)."""
+    pipe_end = proc.runtime.pop("snapify_pipe_pending", None)
+    if pipe_end is None:
+        return
+    proc.runtime["snapify_pipe"] = pipe_end
+    proc.spawn_thread(_restored_agent(proc, pipe_end), name="snapify-agent", daemon=True)
+
+
+def _restored_agent(proc: SimProcess, pipe_end):
+    yield from pipe_end.send({"t": c.PAUSE_ACK})
+    yield from agent_loop(proc, pipe_end)
+
+
+def agent_loop(proc: SimProcess, pipe_end):
+    """Service loop over the daemon pipe."""
+    runtime: CardRuntime = proc.runtime["coi"]
+    while True:
+        msg = yield pipe_end.recv()
+        op = msg["op"]
+        if op == "pause":
+            yield from runtime.quiesce()
+            ls_bytes = yield from save_local_store(
+                proc, runtime, msg["path"], node=msg.get("localstore_node", 0)
+            )
+            yield from pipe_end.send({"t": c.PAUSE_COMPLETE, "localstore_bytes": ls_bytes})
+        elif op == "capture":
+            fd = yield from snapifyio_open(
+                proc.os, node=0, path=c.context_path(msg["path"]), mode="w", proc=proc
+            )
+            done = cr_request_checkpoint(proc, fd)
+            ctx = yield done
+            yield from fd.finish()
+            yield from pipe_end.send(
+                {"t": c.CAPTURE_COMPLETE, "image_bytes": ctx.image_bytes}
+            )
+        elif op == "resume":
+            runtime.release()
+            yield from pipe_end.send({"t": c.RESUME_ACK})
+        else:  # pragma: no cover - protocol error
+            raise RuntimeError(f"snapify agent: unknown op {op!r}")
+
+
+def save_local_store(proc: SimProcess, runtime: CardRuntime, snapshot_path: str,
+                     node: int = 0):
+    """Sub-generator: stream the local store (COI buffer files) through
+    Snapify-IO to SCIF node ``node`` — the host (0) for checkpoint/swap, or
+    the migration target card directly ("the offload process copies its
+    local store directly from its current coprocessor to another
+    coprocessor using Snapify-IO", §7). Returns the byte count.
+
+    This does not use any of the quiesced SCIF channels between the host
+    process and the offload process — Snapify-IO has its own connection.
+    """
+    meta = {"buffers": {}}
+    total = 0
+    fd = yield from snapifyio_open(
+        proc.os, node=node, path=c.localstore_path(snapshot_path), mode="w", proc=proc
+    )
+    for buf_id, entry in sorted(runtime._buffers.items()):
+        f = runtime.buffer_file(buf_id)
+        # Read the RAM-FS file, then stream it out.
+        yield from proc.os.fs.read(entry["path"])
+        yield from fd.write(entry["size"])
+        meta["buffers"][buf_id] = {
+            "size": entry["size"], "path": entry["path"], "payload": f.payload,
+        }
+        total += entry["size"]
+    yield from fd.write(1, record=meta)
+    yield from fd.finish()
+    return total

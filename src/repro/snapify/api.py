@@ -1,0 +1,237 @@
+"""The Snapify API (Table 1 of the paper).
+
+Five functions over a ``snapify_t`` handle:
+
+* :func:`snapify_pause` — stop and drain every communication channel
+  between the host process, the COI daemon and the offload process, then
+  save the local store to the host snapshot directory. Blocking.
+* :func:`snapify_capture` — snapshot the offload process via BLCR through
+  Snapify-IO. **Non-blocking**: returns immediately; the handle's semaphore
+  is posted on completion.
+* :func:`snapify_wait` — wait for a pending capture.
+* :func:`snapify_resume` — release every lock taken by the pause, on both
+  sides.
+* :func:`snapify_restore` — rebuild the offload process from a snapshot on
+  a given device; returns the new ``COIProcess`` handle (the restored
+  process stays blocked until ``snapify_resume``).
+
+Each function records its wall-clock cost in ``snap.timings`` and sizes in
+``snap.sizes`` — the raw material of Figures 10 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..coi.engine import COIEngine
+from ..coi.process import COIProcess
+from ..coi import messages as m
+from ..osim.process import SimProcess
+from ..sim.sync import Semaphore
+from . import constants as c
+from .monitor import SnapifyError
+
+
+@dataclass
+class snapify_t:
+    """The API handle (``snapify_t`` in Table 1)."""
+
+    #: m_snapshot_path: directory on the host file system.
+    snapshot_path: str
+    #: m_process: the COIProcess handle (replaced by snapify_restore).
+    coiproc: Optional[COIProcess] = None
+    #: m_sem: signaled when a non-blocking capture completes.
+    sem: Optional[Semaphore] = None
+    #: SCIF node the local store is saved to at pause (0 = the host; a
+    #: card's SCIF id for migration's direct device-to-device path).
+    localstore_node: int = 0
+    #: Set when an in-flight capture failed (offload process died).
+    error: Optional[str] = None
+    #: Instrumentation for the benchmark harness.
+    timings: Dict[str, float] = field(default_factory=dict)
+    sizes: Dict[str, int] = field(default_factory=dict)
+
+    def host_os(self):
+        return self.coiproc.host_proc.os
+
+
+def _ensure_libs_file(host_os) -> None:
+    """MPSS keeps the runtime libraries on the host FS; materialize them."""
+    if not host_os.fs.exists(c.LIBS_SOURCE_PATH):
+        f = host_os.fs.create(c.LIBS_SOURCE_PATH)
+        f.size = c.COI_LIBS_SIZE
+        # MPSS maps these libraries for every offload launch; they are
+        # permanently warm in the host page cache.
+        f.in_page_cache = True
+
+
+def snapify_pause(snap: snapify_t):
+    """Sub-generator implementing §4.1's pause."""
+    coiproc = snap.coiproc
+    if coiproc is None or coiproc.dead:
+        raise SnapifyError("pause: no live offload process in handle")
+    sim = coiproc.sim
+    t0 = sim.now
+    host_os = coiproc.host_proc.os
+    pid = coiproc.offload_proc.pid
+
+    # Step 0: copy the runtime libraries into the snapshot directory
+    # (host-local copy; the footnote-2 optimization).
+    _ensure_libs_file(host_os)
+    yield from host_os.fs.read(c.LIBS_SOURCE_PATH)
+    yield from host_os.fs.write(c.libs_path(snap.snapshot_path), c.COI_LIBS_SIZE)
+    snap.sizes["libs"] = c.COI_LIBS_SIZE
+
+    # Steps 1-3: service request; daemon opens the pipe and signals the
+    # offload process; its ack is relayed back to us.
+    yield from coiproc.daemon_ep.send(
+        {"type": c.SERVICE, "op": c.OP_PAUSE_INIT, "pid": pid}
+    )
+    ack = yield coiproc.daemon_ep.recv()
+    if ack.get("t") != c.PAUSE_ACK:
+        raise SnapifyError(f"pause handshake failed: {ack!r}")
+
+    # Step 4: tell the offload agent to drain its side, and drain ours
+    # concurrently (cases 1-4 of §4.1).
+    yield from coiproc.daemon_ep.send(
+        {"type": c.SERVICE, "op": c.OP_PAUSE_GO, "pid": pid,
+         "path": snap.snapshot_path, "localstore_node": snap.localstore_node}
+    )
+    yield from coiproc.quiesce()
+    done = yield coiproc.daemon_ep.recv()
+    if done.get("t") == c.SNAPIFY_FAILED:
+        raise SnapifyError(f"pause failed: {done.get('reason')}")
+    if done.get("t") != c.PAUSE_COMPLETE:
+        raise SnapifyError(f"pause did not complete: {done!r}")
+    snap.sizes["local_store"] = done.get("localstore_bytes", 0)
+    snap.timings["pause"] = sim.now - t0
+    sim.trace.emit("snapify.pause", pid=pid, path=snap.snapshot_path,
+                   elapsed=snap.timings["pause"])
+
+
+def snapify_capture(snap: snapify_t, terminate: bool):
+    """Sub-generator implementing §4.1's capture. Non-blocking: returns as
+    soon as the request is on the wire; ``snap.sem`` is posted when the
+    snapshot is saved (use :func:`snapify_wait`)."""
+    coiproc = snap.coiproc
+    if coiproc is None or not coiproc.paused:
+        raise SnapifyError("capture: call snapify_pause first")
+    sim = coiproc.sim
+    snap.sem = Semaphore(sim, value=0, name="snapify.capture")
+    t0 = sim.now
+    yield from coiproc.daemon_ep.send(
+        {"type": c.SERVICE, "op": c.OP_CAPTURE, "pid": coiproc.offload_proc.pid,
+         "path": snap.snapshot_path, "terminate": terminate}
+    )
+
+    def _completion_waiter():
+        try:
+            done = yield coiproc.daemon_ep.recv()
+        except Exception as exc:  # daemon/card died under the capture
+            snap.error = f"lost the COI daemon during capture: {exc}"
+            snap.sem.post()
+            return
+        if done.get("t") != c.CAPTURE_COMPLETE:
+            # Surface the failure through the semaphore: snapify_wait raises.
+            snap.error = done.get("reason", repr(done))
+            snap.sem.post()
+            return
+        snap.sizes["offload_snapshot"] = done.get("image_bytes", 0)
+        snap.timings["capture"] = sim.now - t0
+        sim.trace.emit("snapify.capture", pid=coiproc.offload_proc.pid,
+                       terminate=terminate, bytes=snap.sizes["offload_snapshot"])
+        if terminate:
+            coiproc.mark_dead()
+        snap.sem.post()
+
+    coiproc.host_proc.spawn_thread(_completion_waiter(), name="snapify-capture-wait",
+                                   daemon=True)
+
+
+def snapify_wait(snap: snapify_t):
+    """Sub-generator: block until the pending capture completes.
+
+    Raises :class:`SnapifyError` if the capture failed (e.g. the offload
+    process died under it)."""
+    if snap.sem is None:
+        raise SnapifyError("wait: no capture in flight")
+    yield snap.sem.wait()
+    if snap.error is not None:
+        raise SnapifyError(f"capture failed: {snap.error}")
+
+
+def snapify_resume(snap: snapify_t):
+    """Sub-generator implementing §4.2: release the pause on both sides."""
+    coiproc = snap.coiproc
+    if coiproc is None:
+        raise SnapifyError("resume: empty handle")
+    sim = coiproc.sim
+    t0 = sim.now
+    yield from coiproc.daemon_ep.send(
+        {"type": c.SERVICE, "op": c.OP_RESUME, "pid": coiproc.offload_proc.pid}
+    )
+    ack = yield coiproc.daemon_ep.recv()
+    if ack.get("t") != c.RESUME_ACK:
+        raise SnapifyError(f"resume failed: {ack!r}")
+    # The offload process released its locks and acknowledged; now ours.
+    if coiproc.paused:
+        coiproc.release()
+    snap.timings["resume"] = sim.now - t0
+    sim.trace.emit("snapify.resume", pid=coiproc.offload_proc.pid)
+
+
+def snapify_restore(snap: snapify_t, engine: COIEngine, host_proc: SimProcess):
+    """Sub-generator implementing §4.3: restore the offload process from
+    ``snap.snapshot_path`` onto ``engine``'s device.
+
+    Returns the new :class:`COIProcess` handle (also stored back into
+    ``snap.coiproc``). The restored process stays quiesced until
+    :func:`snapify_resume` is called.
+    """
+    sim = engine.sim
+    t0 = sim.now
+    old = snap.coiproc
+
+    daemon_ep = yield from engine.connect_daemon(host_proc)
+    yield from daemon_ep.send(
+        {"type": c.SERVICE, "op": c.OP_RESTORE, "path": snap.snapshot_path,
+         "host_proc": host_proc, "localstore_node": snap.localstore_node}
+    )
+    reply = yield daemon_ep.recv()
+    if reply.get("t") != "restore-complete":
+        raise SnapifyError(f"restore failed: {reply!r}")
+
+    offload_proc = reply["offload_proc"]
+    binary = offload_proc.store.get("_coi_binary")
+    eps = yield from engine.connect_channels(host_proc, reply["port"]).connect_all()
+    new = COIProcess(
+        host_proc=host_proc, engine=engine, binary=binary,
+        offload_proc=offload_proc, daemon_ep=daemon_ep, eps=eps,
+    )
+
+    # Re-registration: ask the card for the new RDMA offsets and extend the
+    # (old, new) lookup table so stale buffer handles keep working.
+    rereg = yield from new.cmd_client.rpc({"type": m.BUFFER_REREGISTER})
+    new_offsets: Dict[int, int] = rereg["offsets"]
+    if old is not None:
+        new.rdma_address_map.update(old.rdma_address_map)
+        for buf_id, buf in old.buffers.items():
+            if buf_id in new_offsets:
+                current = old.translate_offset(buf.rdma_offset)
+                new.rdma_address_map[current] = new_offsets[buf_id]
+                new.buffers[buf_id] = buf
+    else:
+        from ..coi.buffer import COIBuffer
+
+        for buf_id, info in offload_proc.store.get("buffers", {}).items():
+            new.buffers[buf_id] = COIBuffer(
+                buf_id=buf_id, size=info["size"],
+                rdma_offset=new_offsets[buf_id], localstore_path=info["path"],
+            )
+
+    snap.coiproc = new
+    snap.timings["restore"] = sim.now - t0
+    sim.trace.emit("snapify.restore", pid=new.offload_proc.pid,
+                   device=engine.device_id, path=snap.snapshot_path)
+    return new

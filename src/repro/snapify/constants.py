@@ -1,0 +1,47 @@
+"""Shared constants of the Snapify protocol."""
+
+#: Size of the offload runtime libraries MPSS keeps on the host file system.
+#: snapify_pause() copies them into the snapshot directory (cheap host-local
+#: copy, per the paper's footnote 2); restore streams them back to the card.
+COI_LIBS_SIZE = 120 * 1024 * 1024
+
+#: Canonical host file where the MPSS runtime libraries live.
+LIBS_SOURCE_PATH = "/opt/mpss/coi_runtime_libs"
+
+#: File names inside a snapshot directory.
+CONTEXT_FILE = "context"
+LOCALSTORE_FILE = "localstore"
+LIBS_FILE = "libs"
+
+#: Daemon-connection request type for all Snapify operations.
+SERVICE = "snapify.service"
+
+# Ops carried in SERVICE requests (host -> daemon).
+OP_PAUSE_INIT = "pause-init"
+OP_PAUSE_GO = "pause-go"
+OP_CAPTURE = "capture"
+OP_RESUME = "resume"
+OP_RESTORE = "restore"
+
+# Pipe messages (daemon <-> offload agent) and relayed statuses.
+PAUSE_ACK = "snapify.pause-ack"
+SNAPIFY_FAILED = "snapify.failed"
+PAUSE_COMPLETE = "snapify.pause-complete"
+CAPTURE_COMPLETE = "snapify.capture-complete"
+RESUME_ACK = "snapify.resume-ack"
+
+#: Monitor thread polling interval (the daemon's dedicated Snapify monitor
+#: thread "keeps polling the pipes to the offload processes").
+MONITOR_POLL_INTERVAL = 200e-6
+
+
+def context_path(snapshot_path: str) -> str:
+    return f"{snapshot_path}/{CONTEXT_FILE}"
+
+
+def localstore_path(snapshot_path: str) -> str:
+    return f"{snapshot_path}/{LOCALSTORE_FILE}"
+
+
+def libs_path(snapshot_path: str) -> str:
+    return f"{snapshot_path}/{LIBS_FILE}"

@@ -1,0 +1,256 @@
+"""Daemon-side Snapify service: request handling and the monitor thread.
+
+The COI daemon is the pause coordinator ("there is one daemon per
+coprocessor, and each daemon listens to the same fixed SCIF port number").
+It keeps a list of active Snapify requests; a dedicated *monitor thread* —
+created when the first request arrives and exiting when the list drains —
+polls the pipes to the offload processes and relays their status updates
+back to the requesting host processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from ..blcr import cr_restart
+from ..coi.daemon import COIDaemon, DaemonEntry
+from ..osim.pipes import DuplexPipe
+from ..osim.process import SimProcess
+from ..osim import signals as sig
+from ..scif.endpoint import ScifEndpoint
+from ..sim.errors import SimError
+from ..snapify_io.library import snapifyio_open
+from . import constants as c
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class SnapifyError(SimError):
+    """Snapify protocol failure."""
+
+
+@dataclass
+class ActiveRequest:
+    """One entry of the daemon's active-request list."""
+
+    entry: DaemonEntry
+    host_ep: ScifEndpoint
+    op: str
+    #: capture-only: terminate the offload process once the context is saved.
+    terminate_after: bool = False
+
+
+class SnapifyService:
+    """Per-daemon Snapify state (attached to ``daemon.runtime``)."""
+
+    def __init__(self, daemon: COIDaemon):
+        self.daemon = daemon
+        self.sim = daemon.sim
+        self.active: Dict[int, ActiveRequest] = {}  # offload pid -> request
+        self.monitor_running = False
+        self.monitor_spawn_count = 0
+
+    @staticmethod
+    def of(daemon: COIDaemon) -> "SnapifyService":
+        svc = daemon.runtime.get("snapify")
+        if svc is None:
+            svc = SnapifyService(daemon)
+            daemon.runtime["snapify"] = svc
+        return svc
+
+    # -- monitor thread --------------------------------------------------------
+    def ensure_monitor(self) -> None:
+        """Per the paper: "Whenever a request is received and no monitor
+        thread exists, the daemon creates a new monitor thread." """
+        if self.monitor_running:
+            return
+        self.monitor_running = True
+        self.monitor_spawn_count += 1
+        self.daemon.proc.spawn_thread(self._monitor(), name="snapify-monitor", daemon=True)
+
+    def _monitor(self):
+        while self.active:
+            for pid, req in list(self.active.items()):
+                pipe = req.entry.pipe
+                if pipe is None:
+                    continue
+                ok, msg = pipe.try_recv() if pipe.pending else (False, None)
+                if ok:
+                    yield from self._relay(pid, req, msg)
+                    continue
+                # Unexpected death of the offload process while an operation
+                # is in flight: tell the host instead of letting it hang.
+                if req.entry.state == "crashed":
+                    yield from self._relay(
+                        pid, req,
+                        {"t": c.SNAPIFY_FAILED,
+                         "reason": f"offload pid {pid} died during {req.op}"},
+                    )
+            yield self.sim.timeout(c.MONITOR_POLL_INTERVAL)
+        self.monitor_running = False
+
+    def _relay(self, pid: int, req: ActiveRequest, msg: Dict[str, Any]):
+        """Forward a pipe status message to the requesting host process."""
+        status = msg["t"]
+        yield from req.host_ep.send(dict(msg))
+        if status == c.CAPTURE_COMPLETE and req.terminate_after:
+            # Snapify marks the exit as expected so the daemon does not
+            # misclassify the swap-out as a crash (the §3 hazard).
+            self.daemon.terminate_offload(req.entry, expected=True)
+        if status in (c.CAPTURE_COMPLETE, c.RESUME_ACK, c.SNAPIFY_FAILED):
+            self.active.pop(pid, None)
+
+
+def handle_service(daemon: COIDaemon, ep: ScifEndpoint, msg: Dict[str, Any]):
+    """Dispatch one SERVICE request (registered as a COI daemon extension)."""
+    svc = SnapifyService.of(daemon)
+    op = msg["op"]
+    if op == c.OP_PAUSE_INIT:
+        yield from _handle_pause_init(daemon, svc, ep, msg)
+    elif op == c.OP_PAUSE_GO:
+        yield from _handle_simple_forward(daemon, svc, ep, msg, "pause")
+    elif op == c.OP_CAPTURE:
+        yield from _handle_capture(daemon, svc, ep, msg)
+    elif op == c.OP_RESUME:
+        yield from _handle_simple_forward(daemon, svc, ep, msg, "resume")
+    elif op == c.OP_RESTORE:
+        yield from _handle_restore(daemon, svc, ep, msg)
+    else:  # pragma: no cover - protocol error
+        raise SnapifyError(f"unknown snapify op {op!r}")
+
+
+def _entry(daemon: COIDaemon, pid: int) -> DaemonEntry:
+    entry = daemon.entries.get(pid)
+    if entry is None:
+        raise SnapifyError(f"no offload process with pid {pid}")
+    return entry
+
+
+def _handle_pause_init(daemon: COIDaemon, svc: SnapifyService, ep, msg):
+    """Steps 1-3 of Fig. 3: create the pipe, signal the offload process,
+    wait for its acknowledgement, and relay it to the host."""
+    entry = _entry(daemon, msg["pid"])
+    pipe = DuplexPipe(daemon.sim, name=f"snapify-pipe:{msg['pid']}")
+    entry.pipe = pipe.a
+    entry.offload_proc.runtime["snapify_pipe_pending"] = pipe.b
+    entry.offload_proc.deliver_signal(sig.SIGSNAPIFY)
+    ack = yield pipe.a.recv()
+    if ack.get("t") != c.PAUSE_ACK:
+        raise SnapifyError(f"bad pause ack {ack!r}")
+    svc.active[msg["pid"]] = ActiveRequest(entry=entry, host_ep=ep, op="pause")
+    svc.ensure_monitor()
+    yield from ep.send({"t": c.PAUSE_ACK})
+
+
+def _handle_simple_forward(daemon, svc: SnapifyService, ep, msg, pipe_op: str):
+    """Forward pause-go / resume to the offload agent over the pipe; the
+    monitor thread relays the completion status back to the host."""
+    entry = _entry(daemon, msg["pid"])
+    if entry.pipe is None:
+        raise SnapifyError(f"{pipe_op}: no pipe to pid {msg['pid']} (pause first)")
+    req = svc.active.get(msg["pid"])
+    if req is None:
+        req = ActiveRequest(entry=entry, host_ep=ep, op=pipe_op)
+        svc.active[msg["pid"]] = req
+    req.op, req.host_ep = pipe_op, ep
+    svc.ensure_monitor()
+    yield from entry.pipe.send({"op": pipe_op, "path": msg.get("path"),
+                                "localstore_node": msg.get("localstore_node", 0)})
+
+
+def _handle_capture(daemon, svc: SnapifyService, ep, msg):
+    entry = _entry(daemon, msg["pid"])
+    if entry.pipe is None:
+        raise SnapifyError("capture before pause")
+    req = svc.active.get(msg["pid"]) or ActiveRequest(entry=entry, host_ep=ep, op="capture")
+    req.op, req.host_ep = "capture", ep
+    req.terminate_after = bool(msg.get("terminate"))
+    svc.active[msg["pid"]] = req
+    svc.ensure_monitor()
+    yield from entry.pipe.send({"op": "capture", "path": msg["path"]})
+
+
+def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
+    """§4.3: copy libs + local store back to the card on the fly, restart
+    the offload process from its context via BLCR/Snapify-IO, and hand the
+    reconnect port back to the host."""
+    path = msg["path"]
+    phi_os = daemon.phi_os
+
+    # 1. Runtime libraries stream host -> card (charged, then dropped: they
+    #    are dynamically mapped, not duplicated in the RAM-FS model).
+    libs_fd = yield from snapifyio_open(phi_os, 0, c.libs_path(path), "r")
+    yield from _drain_read(libs_fd)
+    libs_fd.close()
+
+    # 2. Local store files are recreated on the card RAM-FS. For migration
+    #    the pause already staged them on THIS card (the paper's direct
+    #    device-to-device path), so they only need a local copy; otherwise
+    #    they stream in from the SCIF node that holds them (usually 0).
+    ls_node = msg.get("localstore_node", 0)
+    my_node = daemon.phi.scif_node_id
+    staging = c.localstore_path(path)
+    if ls_node == my_node and phi_os.fs.exists(staging):
+        f = phi_os.fs.stat(staging)
+        records = list(f.payload) if isinstance(f.payload, list) else []
+        meta = records[-1] if records else {"buffers": {}}
+        for buf_id, info in meta["buffers"].items():
+            phi_os.fs.create(info["path"])
+            yield from phi_os.fs.write(info["path"], info["size"],
+                                       payload=info["payload"])
+        phi_os.fs.unlink(staging)  # release the staging copy
+    else:
+        ls_fd = yield from snapifyio_open(phi_os, ls_node, staging, "r")
+        records = yield from _drain_read(ls_fd)
+        ls_fd.close()
+        meta = records[-1] if records else {"buffers": {}}
+        for buf_id, info in meta["buffers"].items():
+            phi_os.fs.create(info["path"])
+            yield from phi_os.fs.write(info["path"], info["size"],
+                                       payload=info["payload"])
+
+    # 3. Restart the process image straight off the host file system.
+    port = next(daemon._ports)
+    ctx_fd = yield from snapifyio_open(phi_os, 0, c.context_path(path), "r")
+    proc = yield from cr_restart(phi_os, ctx_fd, start=False)
+    ctx_fd.close()
+    proc.store["_listen_port"] = port
+
+    pipe = DuplexPipe(daemon.sim, name=f"snapify-pipe:{proc.pid}")
+    proc.runtime["snapify_pipe_pending"] = pipe.b
+    listening = daemon.sim.event(f"listening:{proc.name}")
+    proc.runtime["listening"] = listening
+
+    binary = proc.store.get("_coi_binary")
+    host_proc: SimProcess = msg["host_proc"]
+    entry = DaemonEntry(host_proc=host_proc, offload_proc=proc, port=port, binary=binary)
+    entry.pipe = pipe.a
+    daemon.entries[proc.pid] = entry
+    daemon._watch(entry)
+
+    proc.start()
+    yield listening
+    ack = yield pipe.a.recv()  # restored agent announces itself
+    if ack.get("t") != c.PAUSE_ACK:
+        raise SnapifyError(f"restored agent bad hello: {ack!r}")
+    svc.active[proc.pid] = ActiveRequest(entry=entry, host_ep=ep, op="restore")
+    svc.ensure_monitor()
+    yield from ep.send({"t": "restore-complete", "port": port, "pid": proc.pid,
+                        "offload_proc": proc})
+
+
+def _drain_read(fd):
+    """Sub-generator: read a Snapify-IO stream to EOF; returns its records."""
+    records = []
+    while True:
+        rec = yield from fd.read(4 * 1024 * 1024)
+        if rec is None:
+            break
+        records.append(rec)
+    return records
+
+
+# Register with the COI daemon's extension dispatch.
+COIDaemon.extensions[c.SERVICE] = handle_service

@@ -1,0 +1,172 @@
+"""The three Snapify use cases of §5: checkpoint/restart, swapping, migration.
+
+These compose the five API calls exactly as the paper's Figures 5-7 do. All
+functions are sub-generators meant to run in the context of the host
+process (the ``snapify`` CLI and the BLCR callback both end up here).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..blcr import cr_checkpoint, cr_restart
+from ..coi.engine import COIEngine
+from ..coi.process import COIProcess
+from ..osim.fd import RegularFileFD
+from ..osim.process import OSInstance, SimProcess
+from .api import (
+    snapify_capture,
+    snapify_pause,
+    snapify_restore,
+    snapify_resume,
+    snapify_t,
+    snapify_wait,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+HOST_CONTEXT_FILE = "host_context"
+
+
+def host_context_path(snapshot_path: str) -> str:
+    return f"{snapshot_path}/{HOST_CONTEXT_FILE}"
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint and restart (Fig. 5)
+# ---------------------------------------------------------------------------
+
+
+def checkpoint_offload_app(snap: snapify_t):
+    """Sub-generator: Fig. 5(a)'s ``snapify_blcr_callback`` checkpoint path.
+
+    Pauses the offload process, captures it asynchronously, snapshots the
+    host process with host-side BLCR in the meantime, waits for the offload
+    capture, and resumes. Returns (host_ctx, timing dict).
+    """
+    coiproc = snap.coiproc
+    host_proc = coiproc.host_proc
+    sim = coiproc.sim
+    t0 = sim.now
+
+    yield from snapify_pause(snap)
+    yield from snapify_capture(snap, terminate=False)
+
+    # Host snapshot proceeds in parallel with the offload capture.
+    t_host0 = sim.now
+    # Host BLCR context writes are effectively synchronous (kernel-side
+    # direct writes): the disk, not the page cache, paces the host snapshot.
+    fd = RegularFileFD(sim, host_proc.os.fs, host_context_path(snap.snapshot_path), "w",
+                       sync=True)
+    host_ctx = yield from cr_checkpoint(host_proc, fd)
+    fd.close()
+    snap.timings["host_snapshot"] = sim.now - t_host0
+    snap.sizes["host_snapshot"] = host_ctx.image_bytes
+
+    yield from snapify_wait(snap)
+    yield from snapify_resume(snap)
+    snap.timings["checkpoint_total"] = sim.now - t0
+    return host_ctx
+
+
+def restart_offload_app(
+    host_os: OSInstance,
+    snapshot_path: str,
+    engine: COIEngine,
+) -> "RestartResult":
+    """Sub-generator: Fig. 5's restart path, from nothing but the snapshot
+    directory (both processes are assumed gone — the failure case).
+
+    Restores the host process with BLCR, then takes the restart branch of
+    the callback: ``snapify_restore`` + ``snapify_resume``. The host main
+    program is started only after the offload process is reattached; it
+    finds the new handle in ``proc.runtime['coi_restored_handle']``.
+    """
+    sim = host_os.sim
+    t0 = sim.now
+
+    fd = RegularFileFD(sim, host_os.fs, host_context_path(snapshot_path), "r")
+    host_proc = yield from cr_restart(host_os, fd, start=False)
+    fd.close()
+    t_host = sim.now - t0
+
+    snap = snapify_t(snapshot_path=snapshot_path)
+    t1 = sim.now
+    new_handle = yield from snapify_restore(snap, engine, host_proc)
+    host_proc.runtime["coi_restored_handle"] = new_handle
+    yield from snapify_resume(snap)
+    t_offload = sim.now - t1
+
+    host_proc.start()
+    snap.timings["host_restart"] = t_host
+    snap.timings["offload_restore"] = t_offload
+    snap.timings["restart_total"] = sim.now - t0
+    return RestartResult(host_proc=host_proc, coiproc=new_handle, snap=snap)
+
+
+class RestartResult:
+    def __init__(self, host_proc: SimProcess, coiproc: COIProcess, snap: snapify_t):
+        self.host_proc = host_proc
+        self.coiproc = coiproc
+        self.snap = snap
+
+
+# ---------------------------------------------------------------------------
+# Process swapping (Fig. 6)
+# ---------------------------------------------------------------------------
+
+
+def snapify_swapout(snapshot_path: str, coiproc: COIProcess,
+                    localstore_node: int = 0):
+    """Sub-generator: Fig. 6's swap-out — pause, capture with terminate,
+    wait. Returns the ``snapify_t`` representing the swapped-out process.
+
+    ``localstore_node`` routes the local-store save: 0 (the host) for plain
+    swapping; a target card's SCIF id for migration's direct path."""
+    snap = snapify_t(snapshot_path=snapshot_path, coiproc=coiproc,
+                     localstore_node=localstore_node)
+    sim = coiproc.sim
+    t0 = sim.now
+    yield from snapify_pause(snap)
+    yield from snapify_capture(snap, terminate=True)
+    yield from snapify_wait(snap)
+    snap.timings["swapout_total"] = sim.now - t0
+    return snap
+
+
+def snapify_swapin(snap: snapify_t, engine: COIEngine, host_proc: Optional[SimProcess] = None):
+    """Sub-generator: Fig. 6's swap-in — restore on ``engine`` and resume.
+    Returns the new COIProcess handle."""
+    sim = engine.sim
+    t0 = sim.now
+    if host_proc is None:
+        if snap.coiproc is None:
+            raise ValueError("swapin needs a host process")
+        host_proc = snap.coiproc.host_proc
+    new = yield from snapify_restore(snap, engine, host_proc)
+    yield from snapify_resume(snap)
+    snap.timings["swapin_total"] = sim.now - t0
+    return new
+
+
+# ---------------------------------------------------------------------------
+# Process migration (Fig. 7)
+# ---------------------------------------------------------------------------
+
+
+def snapify_migration(coiproc: COIProcess, engine_to: COIEngine,
+                      snapshot_path: str = "/tmp/snapify_migration"):
+    """Sub-generator: Fig. 7 verbatim — swap out of the current device,
+    swap in on ``engine_to``. Returns (new COIProcess, snapify_t)."""
+    sim = coiproc.sim
+    t0 = sim.now
+    # §7: "In process migration, the offload process copies its local store
+    # directly from its current coprocessor to another coprocessor using
+    # Snapify-IO. Thus the pause time in process migration is different."
+    snap = yield from snapify_swapout(
+        snapshot_path, coiproc, localstore_node=engine_to.phi.scif_node_id
+    )
+    new = yield from snapify_swapin(snap, engine_to)
+    snap.timings["migration_total"] = sim.now - t0
+    return new, snap

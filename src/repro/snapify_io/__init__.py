@@ -1,0 +1,20 @@
+"""Snapify-IO: RDMA-based remote file access, plus the NFS/scp baselines."""
+
+from .daemon import COMMITTED, EOF_MARKER, SOCKET_ADDR, SnapifyIODaemon, SnapifyIOError
+from .library import SnapifyIOFile, snapifyio_open
+from .nfs import NFSKernelBufferedFD, NFSMount, NFSUserBufferedFD
+from .scp import scp_copy
+
+__all__ = [
+    "COMMITTED",
+    "EOF_MARKER",
+    "NFSKernelBufferedFD",
+    "NFSMount",
+    "NFSUserBufferedFD",
+    "SOCKET_ADDR",
+    "SnapifyIODaemon",
+    "SnapifyIOError",
+    "SnapifyIOFile",
+    "scp_copy",
+    "snapifyio_open",
+]

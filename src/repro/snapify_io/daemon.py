@@ -1,0 +1,283 @@
+"""The Snapify-IO daemon (§6).
+
+One daemon runs on every SCIF node (the host and each coprocessor). Each
+daemon has:
+
+* a *local server thread* accepting UNIX-socket connections from processes
+  using the Snapify-IO library; each connection gets a *local handler*;
+* a *remote server thread* accepting SCIF connections from peer daemons;
+  each connection gets a *remote handler*.
+
+Data moves through one registered RDMA staging buffer per connection
+(4 MB by default — the paper's balance between card-memory footprint and
+transfer latency). In write mode the local handler copies socket data into
+the buffer and the remote handler pulls it with ``scif_vreadfrom`` and
+appends it to the target file (host-side file writes land in the page cache
+and are flushed asynchronously — why card-to-host writes outrun reads). In
+read mode the flow reverses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..hw.node import PhiDevice, ServerNode
+from ..hw.params import SnapifyIOParams
+from ..osim.process import OSInstance, SimProcess
+from ..osim.sockets import UnixSocket
+from ..scif.endpoint import ConnectionReset, ScifEndpoint, ScifNetwork
+from ..scif.ports import SNAPIFY_IO_PORT
+from ..scif.registry import scif_register
+from ..scif.rdma import scif_vreadfrom, scif_vwriteto
+from ..sim.errors import Interrupted, SimError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.kernel import Simulator
+
+
+class SnapifyIOError(SimError):
+    """Snapify-IO protocol failure."""
+
+
+#: UNIX socket address the library connects to on every node.
+SOCKET_ADDR = "/var/run/snapify-io.sock"
+
+
+class _Sentinel:
+    def __init__(self, tag: str):
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.tag}>"
+
+
+#: Client -> daemon: orderly end-of-stream (written by ``finish()``).
+EOF_MARKER = _Sentinel("snapify-io-eof")
+#: Daemon -> client: the remote file is fully committed.
+COMMITTED = _Sentinel("snapify-io-committed")
+
+
+class SnapifyIODaemon:
+    """One per SCIF node."""
+
+    def __init__(self, os: OSInstance, params: SnapifyIOParams):
+        self.os = os
+        self.sim = os.sim
+        self.params = params
+        self.proc: Optional[SimProcess] = None
+        node = os.hw if isinstance(os.hw, ServerNode) else os.hw.node  # type: ignore[attr-defined]
+        self.node: ServerNode = node
+        self.net = ScifNetwork.of(node)
+        self.connections_served = 0
+
+    # -- boot ------------------------------------------------------------------
+    @staticmethod
+    def boot(os: OSInstance, params: Optional[SnapifyIOParams] = None):
+        """Sub-generator: start the daemon on ``os``; returns the daemon."""
+        node = os.hw if isinstance(os.hw, ServerNode) else os.hw.node  # type: ignore[attr-defined]
+        daemon = SnapifyIODaemon(os, params or node.params.snapify_io)
+        proc = yield from os.spawn_process(
+            "snapify-io-daemon", image_size=4 * 1024 * 1024,
+            main_factory=daemon._main_factory(), start=True,
+        )
+        daemon.proc = proc
+        if proc.main_thread is not None:
+            proc.main_thread.daemon = True  # service threads only
+        os.snapify_io_daemon = daemon  # type: ignore[attr-defined]
+        return daemon
+
+    @staticmethod
+    def of(os: OSInstance) -> "SnapifyIODaemon":
+        daemon = getattr(os, "snapify_io_daemon", None)
+        if daemon is None:
+            raise SnapifyIOError(f"{os.name}: Snapify-IO daemon not running")
+        return daemon
+
+    @staticmethod
+    def boot_all(node: ServerNode):
+        """Sub-generator: boot daemons on the host and every card of a node."""
+        daemons = []
+        d = yield from SnapifyIODaemon.boot(node.os)
+        daemons.append(d)
+        for phi in node.phis:
+            d = yield from SnapifyIODaemon.boot(phi.os)
+            daemons.append(d)
+        return daemons
+
+    def _main_factory(self):
+        def main(proc: SimProcess):
+            local_listener = self.os.sockets.listen(SOCKET_ADDR)
+            remote_listener = self.net.listen(self.os, SNAPIFY_IO_PORT)
+            proc.open_fds.append(local_listener)   # released if we die
+            proc.open_fds.append(remote_listener)
+            proc.spawn_thread(self._local_server(local_listener), name="local-srv", daemon=True)
+            proc.spawn_thread(self._remote_server(remote_listener), name="remote-srv", daemon=True)
+            return
+            yield  # pragma: no cover
+
+        return main
+
+    # -- server threads -----------------------------------------------------------
+    def _local_server(self, listener):
+        while True:
+            sock = yield listener.accept()
+            self.proc.open_fds.append(sock)
+            self.proc.spawn_thread(self._local_handler(sock), name="local-hdl", daemon=True)
+
+    def _remote_server(self, listener):
+        while True:
+            ep = yield listener.accept()
+            self.proc.open_fds.append(ep)
+            self.proc.spawn_thread(self._remote_handler(ep), name="remote-hdl", daemon=True)
+
+    # -- local handler: user process <-> this daemon <-> remote daemon ---------------
+    def _local_handler(self, sock: UnixSocket):
+        self.connections_served += 1
+        header = yield from sock.read()
+        if not isinstance(header, dict) or "path" not in header:
+            raise SnapifyIOError(f"bad open header: {header!r}")
+        node_id, path, mode = header["node"], header["path"], header["mode"]
+        ep = yield from self.net.connect(self.os, node_id, SNAPIFY_IO_PORT,
+                                         proc=self.proc)
+        try:
+            yield from ep.send({"path": path, "mode": mode})
+            # Register the staging buffer for RDMA and tell the peer.
+            offset = yield from scif_register(ep, self.params.buffer_size)
+            yield from ep.send({"offset": offset})
+            if mode == "w":
+                yield from self._local_write_loop(sock, ep)
+            else:
+                yield from self._local_read_loop(sock, ep)
+        finally:
+            ep.close()
+            sock.close()
+
+    def _local_write_loop(self, sock: UnixSocket, ep: ScifEndpoint):
+        """Socket -> staging buffer -> (remote pulls via RDMA) -> remote file."""
+        filled = 0
+        records: List[Any] = []
+
+        def flush():
+            nonlocal filled, records
+            if filled == 0:
+                return
+            yield from ep.send({"type": "chunk", "n": filled, "records": records})
+            ack = yield ep.recv()  # remote finished the RDMA pull
+            if not (isinstance(ack, dict) and ack.get("type") == "ack"):
+                raise SnapifyIOError(f"bad chunk ack: {ack!r}")
+            filled, records = 0, []
+
+        while True:
+            nbytes, record = yield from sock.read_datagram()
+            eof = (nbytes == 0 and record is None) or record is EOF_MARKER
+            if not eof:
+                if filled + nbytes > self.params.buffer_size:
+                    yield from flush()
+                # Copy from the socket into the staging buffer.
+                yield self.sim.timeout(nbytes / self.os.sockets.default_bandwidth)
+                filled += nbytes
+                if record is not None:
+                    records.append(record)
+                if filled >= self.params.buffer_size:
+                    yield from flush()
+                continue
+            yield from flush()
+            yield from ep.send({"type": "eof"})
+            yield ep.recv()  # remote committed the file
+            if record is EOF_MARKER and not sock.closed:
+                # Orderly finish(): confirm durability to the user.
+                yield from sock.write(1, record=COMMITTED)
+            return
+
+    def _local_read_loop(self, sock: UnixSocket, ep: ScifEndpoint):
+        """Remote file -> (remote pushes via RDMA) -> staging buffer -> socket."""
+        while True:
+            try:
+                msg = yield ep.recv()
+            except ConnectionReset:
+                return
+            if msg["type"] == "eof":
+                sock.close()  # EOF to the user
+                return
+            if msg["type"] != "chunk":
+                raise SnapifyIOError(f"bad read message: {msg!r}")
+            try:
+                # Copy staging buffer -> socket; the record batch rides along.
+                yield from sock.write(msg["n"], record=msg["records"])
+            except Exception:
+                return  # user closed early
+            # Only now is the staging buffer reusable: read mode cannot
+            # overlap the socket drain with the next RDMA fill.
+            yield from ep.send({"type": "ack"})
+
+    # -- remote handler: peer daemon <-> this node's file system ----------------------
+    def _remote_handler(self, ep: ScifEndpoint):
+        try:
+            header = yield ep.recv()
+            offset_msg = yield ep.recv()
+        except (ConnectionReset, Interrupted):
+            return
+        path, mode = header["path"], header["mode"]
+        peer_offset = offset_msg["offset"]
+        if mode == "w":
+            yield from self._remote_write(ep, path, peer_offset)
+        else:
+            yield from self._remote_read(ep, path, peer_offset)
+
+    def _remote_write(self, ep: ScifEndpoint, path: str, peer_offset: int):
+        self.os.fs.create(path)
+        records: List[Any] = []
+        while True:
+            try:
+                msg = yield ep.recv()
+            except (ConnectionReset, Interrupted):
+                return  # writer vanished; leave partial file
+            if msg["type"] == "eof":
+                if records:
+                    self.os.fs.stat(path).payload = list(records)
+                yield from ep.send({"type": "done"})
+                return
+            # Pull the staged chunk out of the peer's registered buffer.
+            yield from scif_vreadfrom(ep, peer_offset, msg["n"])
+            records.extend(msg["records"])
+            if self.params.async_flush:
+                # Ack as soon as the staging buffer is free: the file write
+                # below overlaps the peer's next fill — the asynchronous
+                # flush that makes card->host writes outrun reads (§7).
+                yield from ep.send({"type": "ack"})
+                yield from self.os.fs.write(path, msg["n"])
+            else:
+                # Ablation: write before releasing the buffer.
+                yield from self.os.fs.write(path, msg["n"])
+                yield from ep.send({"type": "ack"})
+
+    def _remote_read(self, ep: ScifEndpoint, path: str, peer_offset: int):
+        if not self.os.fs.exists(path):
+            yield from ep.send({"type": "eof"})
+            return
+        f = self.os.fs.stat(path)
+        records = list(f.payload) if isinstance(f.payload, list) else (
+            [f.payload] if f.payload is not None else []
+        )
+        remaining = f.size
+        first = True
+        while remaining > 0:
+            chunk = min(remaining, self.params.buffer_size)
+            # Read from the local file (page-cache aware), then push into the
+            # peer's staging buffer.
+            yield from self.os.fs.read(path, chunk)
+            yield from scif_vwriteto(ep, peer_offset, chunk)
+            # The record stream rides with the first chunk; the client FD
+            # hands records out one per read, preserving order.
+            chunk_records = records if first else []
+            first = False
+            try:
+                yield from ep.send({"type": "chunk", "n": chunk, "records": chunk_records})
+                yield ep.recv()  # ack
+            except ConnectionReset:
+                return
+            remaining -= chunk
+        try:
+            yield from ep.send({"type": "eof"})
+        except ConnectionReset:
+            pass

@@ -1,0 +1,115 @@
+"""The Snapify-IO client library.
+
+``snapifyio_open(os, node, path, mode)`` is the library's single API call:
+it connects to the local Snapify-IO daemon over a UNIX socket and returns a
+standard :class:`~repro.osim.fd.FileDescriptor` representing a file on a
+remote SCIF node — which can be handed directly to BLCR, exactly as in the
+paper ("the file descriptor created by Snapify-IO can be directly passed to
+BLCR for saving and retrieving snapshots").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from ..osim.fd import FDError, FileDescriptor
+from ..osim.process import OSInstance, SimProcess
+from ..osim.sockets import UnixSocket
+from .daemon import COMMITTED, EOF_MARKER, SOCKET_ADDR, SnapifyIODaemon, SnapifyIOError
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class SnapifyIOFile(FileDescriptor):
+    """Descriptor over a remote file, streamed through the daemons.
+
+    Write mode: chunks larger than the daemon's staging buffer are split.
+    Call :meth:`finish` (sub-generator) to flush and confirm durability
+    before relying on the remote file. Read mode: records arrive in order,
+    one per ``read`` call.
+    """
+
+    def __init__(self, os: OSInstance, sock: UnixSocket, mode: str, buffer_size: int):
+        super().__init__(os.sim, name=f"snapify-io:{mode}")
+        self.os = os
+        self.sock = sock
+        self.mode = mode
+        self.buffer_size = buffer_size
+        self._records: Deque[Any] = deque()
+        self._eof = False
+        self.finished = False
+
+    # -- write path ----------------------------------------------------------
+    def write(self, nbytes: int, record: Any = None):
+        self._check_open()
+        if self.mode != "w":
+            raise FDError(f"{self.name}: write on read-mode descriptor")
+        remaining = nbytes
+        first = True
+        while remaining > 0 or first:
+            chunk = min(remaining, self.buffer_size) if remaining else 0
+            yield from self.sock.write(chunk, record=record if first else None)
+            remaining -= chunk
+            first = False
+        self.bytes_written += nbytes
+
+    def finish(self):
+        """Sub-generator: flush, wait for remote commit, and close."""
+        self._check_open()
+        if self.mode != "w":
+            raise FDError(f"{self.name}: finish on read-mode descriptor")
+        yield from self.sock.write(1, record=EOF_MARKER)
+        reply = yield from self.sock.read()
+        if reply is not COMMITTED:
+            raise SnapifyIOError(f"expected commit confirmation, got {reply!r}")
+        self.finished = True
+        self.close()
+
+    # -- read path -------------------------------------------------------------
+    def read(self, nbytes: int):
+        self._check_open()
+        if self.mode != "r":
+            raise FDError(f"{self.name}: read on write-mode descriptor")
+        while not self._records and not self._eof:
+            n, batch = yield from self.sock.read_datagram()
+            if n == 0 and batch is None:
+                self._eof = True
+                break
+            self.bytes_read += n
+            if isinstance(batch, list):
+                self._records.extend(batch)
+        if self._records:
+            return self._records.popleft()
+        return None
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        super().close()
+        self.sock.close()
+
+
+def snapifyio_open(
+    os: OSInstance,
+    node: int,
+    path: str,
+    mode: str,
+    proc: Optional[SimProcess] = None,
+):
+    """Sub-generator: open ``path`` on SCIF node ``node``; returns the FD.
+
+    ``mode`` is ``"r"`` or ``"w"`` (never both, as in the paper). ``node``
+    uses SCIF numbering: 0 is the host, 1.. are coprocessors.
+    """
+    if mode not in ("r", "w"):
+        raise SnapifyIOError(f"mode must be 'r' or 'w', got {mode!r}")
+    daemon = SnapifyIODaemon.of(os)
+    yield os.sim.timeout(daemon.params.connect_latency)
+    sock = yield from os.sockets.connect(SOCKET_ADDR)
+    yield from sock.write(64, record={"node": node, "path": path, "mode": mode})
+    fd = SnapifyIOFile(os, sock, mode, daemon.params.buffer_size)
+    if proc is not None:
+        proc.register_fd(fd)
+    return fd

@@ -1,0 +1,28 @@
+"""scp between the card and the host: the slowest Table 3 baseline.
+
+scp over the PCIe virtual ethernet is a single ssh stream whose throughput
+is bounded by one slow in-order Phi core doing encryption and MAC — tens of
+MB/s against multi-GB/s RDMA, hence the paper's 22-30x gap at 1 GB.
+"""
+
+from __future__ import annotations
+
+from ..hw.params import ScpParams
+from ..osim.process import OSInstance
+
+
+def scp_copy(
+    src_os: OSInstance,
+    dst_os: OSInstance,
+    src_path: str,
+    dst_path: str,
+    params: ScpParams,
+):
+    """Sub-generator: copy ``src_path`` on ``src_os`` to ``dst_path`` on
+    ``dst_os``. Charges connection setup, the encrypted stream, and the
+    destination write (page cache / RAM-FS)."""
+    f = src_os.fs.stat(src_path)
+    sim = src_os.sim
+    yield sim.timeout(params.connection_setup + params.per_file_overhead)
+    yield sim.timeout(f.size / params.bandwidth)
+    yield from dst_os.fs.write(dst_path, f.size, payload=f.payload)

@@ -1,0 +1,108 @@
+"""Turn-key simulated testbeds.
+
+Booting the full stack (hardware node, host + card OSes, COI daemons,
+Snapify-IO daemons) takes a dozen steps; examples, tests and benchmarks all
+need it. :class:`XeonPhiServer` assembles one server; :class:`XeonPhiCluster`
+assembles the 4-node MPI testbed of §7.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from .coi.daemon import COIDaemon
+from .coi.engine import COIEngine
+from .hw.cluster import Cluster
+from .hw.node import ServerNode
+from .hw.params import HardwareParams
+from .osim.boot import boot_node
+from .osim.process import OSInstance
+from .scif.endpoint import ScifNetwork
+from .sim.kernel import SimGen, Simulator
+from .snapify_io.daemon import SnapifyIODaemon
+
+
+class XeonPhiServer:
+    """A booted single-node testbed: OSes, COI daemons, Snapify-IO daemons."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        params: Optional[HardwareParams] = None,
+        name: str = "node0",
+        node: Optional[ServerNode] = None,
+    ):
+        self.sim = sim or Simulator()
+        if params is None:
+            from .calibration import paper_testbed
+
+            params = paper_testbed()
+        self.params = params
+        self.node = node or ServerNode(self.sim, self.params, name=name)
+        self.host_os, self.phi_oses = boot_node(self.node)
+        ScifNetwork.of(self.node)
+        self.coi_daemons: List[COIDaemon] = []
+        self.io_daemons: List[SnapifyIODaemon] = []
+        self._boot()
+
+    def _boot(self) -> None:
+        def setup(sim):
+            for phi in self.node.phis:
+                daemon = yield from COIDaemon.boot(phi)
+                self.coi_daemons.append(daemon)
+            daemons = yield from SnapifyIODaemon.boot_all(self.node)
+            self.io_daemons.extend(daemons)
+
+        self.run(setup(self.sim))
+
+    # -- conveniences ------------------------------------------------------------
+    def engine(self, device: int = 0) -> COIEngine:
+        """COIEngine for card ``device`` (0-based)."""
+        return COIEngine(self.node, device)
+
+    def phi_os(self, device: int = 0) -> OSInstance:
+        return self.phi_oses[device]
+
+    def run(self, gen: SimGen, name: str = "driver") -> Any:
+        """Run a driver generator to completion; return its value."""
+        t = self.sim.spawn(gen, name=name)
+        self.sim.run_until(t.done)
+        return t.done.value
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+class XeonPhiCluster:
+    """The paper's MPI testbed: ``n_nodes`` single-Phi servers on a fabric."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        params: Optional[HardwareParams] = None,
+        sim: Optional[Simulator] = None,
+    ):
+        self.sim = sim or Simulator()
+        if params is None:
+            from .calibration import mpi_cluster_testbed
+
+            # Fig. 11's cluster: one Xeon Phi (8 GB) per node.
+            params = mpi_cluster_testbed()
+        self.params = params
+        self.cluster = Cluster(self.sim, self.params, n_nodes=n_nodes)
+        self.servers: List[XeonPhiServer] = [
+            XeonPhiServer(sim=self.sim, params=self.params, node=node)
+            for node in self.cluster.nodes
+        ]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def server(self, i: int) -> XeonPhiServer:
+        return self.servers[i]
+
+    def run(self, gen: SimGen, name: str = "driver") -> Any:
+        t = self.sim.spawn(gen, name=name)
+        self.sim.run_until(t.done)
+        return t.done.value

@@ -1,0 +1,161 @@
+"""Tests for the snapify CLI model, protocol tracing, and the trace API."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from repro.sim import Simulator, Tracer
+from repro.snapify import (
+    MIGRATE,
+    SWAP_IN,
+    SWAP_OUT,
+    SnapifyError,
+    snapify_command,
+)
+from repro.testbed import XeonPhiServer
+
+
+def make_app(server, iterations=25):
+    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=iterations)
+    return OffloadApplication(server, profile)
+
+
+# ---------------------------------------------------------------------------
+# CLI error paths
+# ---------------------------------------------------------------------------
+
+
+def test_swap_in_without_swap_out_fails():
+    server = XeonPhiServer()
+    app = make_app(server)
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(0.3)
+        done = snapify_command(app.host_proc, SWAP_IN, engine=server.engine(0))
+        try:
+            yield done
+        except SnapifyError as exc:
+            return str(exc)
+
+    msg = server.run(driver(server.sim))
+    assert "nothing swapped out" in msg
+
+
+def test_swap_in_requires_engine():
+    server = XeonPhiServer()
+    app = make_app(server)
+
+    def driver(sim):
+        yield from app.launch()
+        with pytest.raises(SnapifyError, match="needs a target device"):
+            snapify_command(app.host_proc, SWAP_IN)
+        with pytest.raises(SnapifyError, match="needs a target device"):
+            snapify_command(app.host_proc, MIGRATE)
+        return "ok"
+
+    assert server.run(driver(server.sim)) == "ok"
+
+
+def test_double_swap_out_queues_behind_the_gate():
+    """A second swap-out issued while the job is already swapped out blocks
+    on the application gate until the swap-in, then executes — the job ends
+    up swapped out again, and a final swap-in lets it finish correctly."""
+    server = XeonPhiServer()
+    app = make_app(server, iterations=50)
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(0.3)
+        first = snapify_command(app.host_proc, SWAP_OUT, snapshot_path="/c1")
+        yield first
+        second = snapify_command(app.host_proc, SWAP_OUT, snapshot_path="/c2")
+        yield sim.timeout(2.0)
+        blocked_while_out = not second.triggered
+        done = snapify_command(app.host_proc, SWAP_IN, engine=server.engine(0))
+        yield done
+        # Now the queued second swap-out gets the gate and runs.
+        yield second
+        done = snapify_command(app.host_proc, SWAP_IN, engine=server.engine(0))
+        yield done
+        yield app.host_proc.main_thread.done
+        return blocked_while_out
+
+    assert server.run(driver(server.sim)) is True
+    assert app.verify()
+
+
+def test_migrate_to_same_device_is_legal():
+    """Migration to the SAME card = swap-out + swap-in in place (the paper's
+    scheduler might do this to defragment card memory)."""
+    server = XeonPhiServer()
+    app = make_app(server, iterations=20)
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(0.3)
+        done = snapify_command(app.host_proc, MIGRATE, engine=server.engine(0))
+        new = yield done
+        assert new.offload_proc.os is server.phi_os(0)
+        yield app.host_proc.main_thread.done
+
+    server.run(driver(server.sim))
+    assert app.verify()
+
+
+# ---------------------------------------------------------------------------
+# Protocol tracing
+# ---------------------------------------------------------------------------
+
+
+def test_snapify_operations_are_traced():
+    server = XeonPhiServer()
+    server.sim.trace.enabled = True
+    app = make_app(server, iterations=30)
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(0.3)
+        done = snapify_command(app.host_proc, MIGRATE, engine=server.engine(1))
+        yield done
+        yield app.host_proc.main_thread.done
+
+    server.run(driver(server.sim))
+    trace = server.sim.trace
+    assert trace.find("snapify.pause")
+    captures = trace.find("snapify.capture", terminate=True)
+    assert len(captures) == 1
+    restores = trace.find("snapify.restore", device=1)
+    assert len(restores) == 1
+    # Ordering: pause < capture < restore < resume.
+    assert (
+        trace.first_time("snapify.pause")
+        < trace.first_time("snapify.capture")
+        < trace.first_time("snapify.restore")
+        < trace.first_time("snapify.resume")
+    )
+
+
+def test_tracer_api():
+    sim = Simulator(trace=True)
+    sim.trace.emit("cat", a=1)
+    sim.trace.emit("cat", a=2)
+    sim.trace.emit("dog", a=1)
+    assert len(sim.trace.find("cat")) == 2
+    assert len(sim.trace.find("cat", a=2)) == 1
+    assert sim.trace.find("fish") == []
+    assert sim.trace.first_time("dog") == 0.0
+    assert sim.trace.last_time("nope") is None
+    sink_hits = []
+    sim.trace.sinks.append(lambda rec: sink_hits.append(rec.category))
+    sim.trace.emit("cat", a=3)
+    assert sink_hits == ["cat"]
+    sim.trace.clear()
+    assert sim.trace.records == []
+
+
+def test_tracer_disabled_is_free():
+    sim = Simulator(trace=False)
+    sim.trace.emit("cat", a=1)
+    assert sim.trace.records == []

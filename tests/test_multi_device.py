@@ -1,0 +1,143 @@
+"""Multi-coprocessor scenarios: one host process driving offload processes
+on several cards, independent snapshots, and cross-application isolation.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from repro.coi import COIEngine, OffloadBinary, OffloadFunction
+from repro.hw import MB
+from repro.snapify import (
+    snapify_capture,
+    snapify_pause,
+    snapify_restore,
+    snapify_resume,
+    snapify_t,
+    snapify_wait,
+)
+from repro.snapify.usecases import snapify_migration
+from repro.testbed import XeonPhiServer
+
+
+def bump(ctx, args):
+    ctx.store["n"] = ctx.store.get("n", 0) + args["d"]
+    return ctx.store["n"]
+
+
+def make_binary():
+    return OffloadBinary("multi.so", 4 * MB,
+                         {"bump": OffloadFunction("bump", 0.01, bump)})
+
+
+def test_one_host_process_two_cards():
+    """§4.1: "our approach handles multiple Xeon Phi coprocessors in a
+    server" — one host process with an offload process on EACH card, each
+    snapshotted independently."""
+    server = XeonPhiServer()
+    binary = make_binary()
+    out = {}
+
+    def driver(sim):
+        host = yield from server.host_os.spawn_process("dual", image_size=4 * MB)
+        p0 = yield from COIEngine(server.node, 0).process_create(host, binary)
+        p1 = yield from COIEngine(server.node, 1).process_create(host, binary)
+        r0 = yield from p0.run_function("bump", {"d": 5})
+        r1 = yield from p1.run_function("bump", {"d": 7})
+
+        # Pause/capture/resume mic0's process while mic1's keeps serving.
+        snap = snapify_t(snapshot_path="/dual/p0", coiproc=p0)
+        yield from snapify_pause(snap)
+        r1b = yield from p1.run_function("bump", {"d": 1})  # mic1 unaffected
+        yield from snapify_capture(snap, terminate=False)
+        yield from snapify_wait(snap)
+        yield from snapify_resume(snap)
+        r0b = yield from p0.run_function("bump", {"d": 2})
+        out.update(r0=r0, r1=r1, r0b=r0b, r1b=r1b)
+
+    server.run(driver(server.sim))
+    assert (out["r0"], out["r1"]) == (5, 7)
+    assert out["r1b"] == 8  # mic1 progressed during mic0's pause
+    assert out["r0b"] == 7  # mic0 resumed with its state intact
+
+
+def test_migrate_one_of_two_offload_processes():
+    """Migrating the mic0 process must not disturb the mic1 process owned
+    by the same host process (separate sequence/waiter spaces)."""
+    server = XeonPhiServer()
+    binary = make_binary()
+    out = {}
+
+    def driver(sim):
+        host = yield from server.host_os.spawn_process("dual", image_size=4 * MB)
+        p0 = yield from COIEngine(server.node, 0).process_create(host, binary)
+        p1 = yield from COIEngine(server.node, 1).process_create(host, binary)
+        yield from p0.run_function("bump", {"d": 10})
+        yield from p1.run_function("bump", {"d": 20})
+        new0, _ = yield from snapify_migration(p0, COIEngine(server.node, 1),
+                                               snapshot_path="/dual/mig")
+        # Both now live on mic1; both keep their own state.
+        a = yield from new0.run_function("bump", {"d": 1})
+        b = yield from p1.run_function("bump", {"d": 1})
+        out.update(a=a, b=b, os0=new0.offload_proc.os, os1=p1.offload_proc.os)
+
+    server.run(driver(server.sim))
+    assert out["a"] == 11
+    assert out["b"] == 21
+    assert out["os0"] is out["os1"] is server.phi_os(1)
+
+
+def test_concurrent_apps_snapshot_independently():
+    """Two applications on the same card: checkpointing one leaves the
+    other's execution and result untouched."""
+    server = XeonPhiServer()
+    a1 = OffloadApplication(server, replace(OPENMP_BENCHMARKS["MC"], iterations=20),
+                            name="a1")
+    a2 = OffloadApplication(server, replace(OPENMP_BENCHMARKS["KM"], iterations=200),
+                            name="a2")
+
+    def driver(sim):
+        yield from a1.launch()
+        yield from a2.launch()
+        yield sim.timeout(0.4)
+        from repro.snapify import checkpoint_offload_app
+
+        snap = snapify_t(snapshot_path="/iso/a1", coiproc=a1.coiproc)
+        yield from checkpoint_offload_app(snap)
+        yield a1.host_proc.main_thread.done
+        yield a2.host_proc.main_thread.done
+
+    server.run(driver(server.sim))
+    assert a1.verify() and a2.verify()
+
+
+def test_restore_targets_any_device_number():
+    """snapify_restore takes the device id exactly as the paper's API does
+    (GetDeviceID / device parameter)."""
+    server = XeonPhiServer()
+    binary = make_binary()
+
+    def driver(sim):
+        host = yield from server.host_os.spawn_process("app", image_size=4 * MB)
+        p = yield from COIEngine(server.node, 0).process_create(host, binary)
+        yield from p.run_function("bump", {"d": 3})
+        snap = snapify_t(snapshot_path="/dev/s", coiproc=p)
+        yield from snapify_pause(snap)
+        yield from snapify_capture(snap, terminate=True)
+        yield from snapify_wait(snap)
+        for device in (1, 0, 1):  # bounce it around
+            engine = server.engine(device)
+            new = yield from snapify_restore(snap, engine, host)
+            yield from snapify_resume(snap)
+            assert new.offload_proc.os is server.phi_os(device)
+            r = yield from new.run_function("bump", {"d": 1})
+            # Re-capture for the next hop.
+            if device != 1 or r < 6:
+                yield from snapify_pause(snap)
+                yield from snapify_capture(snap, terminate=True)
+                yield from snapify_wait(snap)
+        return r
+
+    # 3 (initial) + 1 per hop across three restores.
+    assert server.run(driver(server.sim)) == 6

@@ -1,0 +1,164 @@
+"""Real numerical payloads through the whole snapshot pipeline.
+
+Buffers and card state carry actual numpy arrays; offload functions do real
+vectorized math. Snapshots must round-trip the numbers bit-exactly — across
+checkpoint/restart, migration, and double restores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coi import COIEngine, OffloadBinary, OffloadFunction
+from repro.hw import MB
+from repro.snapify import (
+    snapify_capture,
+    snapify_pause,
+    snapify_restore,
+    snapify_resume,
+    snapify_t,
+    snapify_wait,
+)
+from repro.snapify.usecases import snapify_migration
+from repro.testbed import XeonPhiServer
+
+N = 4096
+
+
+def jacobi_step(ctx, args):
+    """One Jacobi smoothing step over the buffer's array (real numpy)."""
+    x = ctx.buffer_payload(args["buf"])
+    smoothed = x.copy()
+    smoothed[1:-1] = (x[:-2] + 2 * x[1:-1] + x[2:]) / 4.0
+    ctx.set_buffer_payload(args["buf"], smoothed)
+    return float(smoothed.sum())
+
+
+def make_binary():
+    return OffloadBinary(
+        "jacobi_mic.so", 4 * MB,
+        {"step": OffloadFunction("step", duration=5e-3, effect=jacobi_step)},
+    )
+
+
+def reference_run(x0: np.ndarray, steps: int) -> np.ndarray:
+    x = x0.copy()
+    for _ in range(steps):
+        s = x.copy()
+        s[1:-1] = (x[:-2] + 2 * x[1:-1] + x[2:]) / 4.0
+        x = s
+    return x
+
+
+def setup(server):
+    out = {}
+
+    def boot(sim):
+        host = yield from server.host_os.spawn_process("jacobi", image_size=4 * MB)
+        coiproc = yield from COIEngine(server.node, 0).process_create(host, make_binary())
+        buf = yield from coiproc.buffer_create(N * 8)
+        rng = np.random.default_rng(7)
+        x0 = rng.normal(size=N)
+        yield from coiproc.buffer_write(buf, payload=x0.copy())
+        out.update(host=host, coiproc=coiproc, buf=buf, x0=x0)
+
+    server.run(boot(server.sim))
+    return out
+
+
+def test_checkpoint_mid_solve_is_bit_exact():
+    server = XeonPhiServer()
+    env = setup(server)
+    coiproc, buf, x0 = env["coiproc"], env["buf"], env["x0"]
+    STEPS = 12
+
+    def driver(sim):
+        for k in range(STEPS):
+            yield from coiproc.run_function("step", {"buf": buf.buf_id})
+            if k == 5:  # checkpoint mid-solve
+                snap = snapify_t(snapshot_path="/np/ck", coiproc=coiproc)
+                yield from snapify_pause(snap)
+                yield from snapify_capture(snap, terminate=False)
+                yield from snapify_wait(snap)
+                yield from snapify_resume(snap)
+        result = yield from coiproc.buffer_read(buf)
+        return result
+
+    result = server.run(driver(server.sim))
+    np.testing.assert_array_equal(result, reference_run(x0, STEPS))
+
+
+def test_restore_resumes_with_exact_intermediate_state():
+    server = XeonPhiServer()
+    env = setup(server)
+    coiproc, buf, x0, host = env["coiproc"], env["buf"], env["x0"], env["host"]
+
+    def driver(sim):
+        for _ in range(4):
+            yield from coiproc.run_function("step", {"buf": buf.buf_id})
+        snap = snapify_t(snapshot_path="/np/sw", coiproc=coiproc)
+        yield from snapify_pause(snap)
+        yield from snapify_capture(snap, terminate=True)
+        yield from snapify_wait(snap)
+        new = yield from snapify_restore(snap, server.engine(1), host)
+        yield from snapify_resume(snap)
+        mid = yield from new.buffer_read(new.buffers[buf.buf_id])
+        for _ in range(4):
+            yield from new.run_function("step", {"buf": buf.buf_id})
+        final = yield from new.buffer_read(new.buffers[buf.buf_id])
+        return mid, final
+
+    mid, final = server.run(driver(server.sim))
+    np.testing.assert_array_equal(mid, reference_run(x0, 4))
+    np.testing.assert_array_equal(final, reference_run(x0, 8))
+
+
+def test_two_restores_get_independent_arrays():
+    """Numpy flavor of the aliasing regression: restores from one snapshot
+    must not share array objects."""
+    server = XeonPhiServer()
+    env = setup(server)
+    coiproc, buf, x0, host = env["coiproc"], env["buf"], env["x0"], env["host"]
+
+    def driver(sim):
+        yield from coiproc.run_function("step", {"buf": buf.buf_id})
+        snap = snapify_t(snapshot_path="/np/tw", coiproc=coiproc)
+        yield from snapify_pause(snap)
+        yield from snapify_capture(snap, terminate=True)
+        yield from snapify_wait(snap)
+
+        first = yield from snapify_restore(snap, server.engine(0), host)
+        yield from snapify_resume(snap)
+        # Drive the first restore forward, then kill it.
+        for _ in range(3):
+            yield from first.run_function("step", {"buf": buf.buf_id})
+        first_arr = yield from first.buffer_read(first.buffers[buf.buf_id])
+        first.offload_proc.terminate()
+        yield sim.timeout(0.01)
+
+        snap2 = snapify_t(snapshot_path="/np/tw", coiproc=None)
+        second = yield from snapify_restore(snap2, server.engine(1), host)
+        yield from snapify_resume(snap2)
+        second_arr = yield from second.buffer_read(second.buffers[buf.buf_id])
+        return first_arr, second_arr
+
+    first_arr, second_arr = server.run(driver(server.sim))
+    np.testing.assert_array_equal(second_arr, reference_run(x0, 1))
+    np.testing.assert_array_equal(first_arr, reference_run(x0, 4))
+    assert not np.array_equal(first_arr, second_arr)
+
+
+def test_migration_preserves_arrays():
+    server = XeonPhiServer()
+    env = setup(server)
+    coiproc, buf, x0 = env["coiproc"], env["buf"], env["x0"]
+
+    def driver(sim):
+        for _ in range(3):
+            yield from coiproc.run_function("step", {"buf": buf.buf_id})
+        new, _ = yield from snapify_migration(coiproc, server.engine(1),
+                                              snapshot_path="/np/mig")
+        arr = yield from new.buffer_read(new.buffers[buf.buf_id])
+        return arr
+
+    arr = server.run(driver(server.sim))
+    np.testing.assert_array_equal(arr, reference_run(x0, 3))

@@ -1,0 +1,146 @@
+"""Remaining OS-layer edge cases: FD misuse, region kinds, pipe teardown."""
+
+import pytest
+
+from repro.hw import MB, HardwareParams, ServerNode
+from repro.osim import DuplexPipe, ProcessError, UnixPipe, boot_node
+from repro.osim.process import MemoryRegion
+from repro.sim import Simulator
+
+
+def make_env():
+    sim = Simulator()
+    node = ServerNode(sim, HardwareParams())
+    host_os, phi_oses = boot_node(node)
+    return sim, host_os, phi_oses[0]
+
+
+def run(sim, gen):
+    t = sim.spawn(gen)
+    sim.run(check_deadlock=False)
+    assert t.done.ok, t.done.exception
+    return t.done.value
+
+
+def test_region_kind_validation():
+    with pytest.raises(ValueError):
+        MemoryRegion("x", 10, kind="nonsense")
+    with pytest.raises(ValueError):
+        MemoryRegion("x", -1)
+
+
+def test_region_clone_is_deep():
+    r = MemoryRegion("x", 10, data={"a": [1]})
+    c = r.clone()
+    c.data["a"].append(2)
+    assert r.data == {"a": [1]}
+
+
+def test_spawn_thread_in_dead_process_rejected():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from host.spawn_process("p")
+        proc.terminate()
+        with pytest.raises(ProcessError):
+            proc.spawn_thread(iter(()), name="late")
+        return "ok"
+
+    assert run(sim, worker(sim)) == "ok"
+
+
+def test_process_by_pid():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from host.spawn_process("p")
+        assert host.process_by_pid(proc.pid) is proc
+        with pytest.raises(ProcessError):
+            host.process_by_pid(424242)
+        return "ok"
+
+    assert run(sim, worker(sim)) == "ok"
+
+
+def test_terminate_is_idempotent():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from host.spawn_process("p")
+        proc.terminate(code=3)
+        proc.terminate(code=7)  # no-op; first exit code wins
+        return proc.exit_code
+
+    assert run(sim, worker(sim)) == 3
+
+
+def test_pipe_close_unblocks_reader():
+    sim, host, phi = make_env()
+    pipe = UnixPipe(sim)
+
+    def reader(sim):
+        from repro.sim import ChannelClosed
+
+        with pytest.raises(ChannelClosed):
+            yield pipe.read_end.recv()
+        return "unblocked"
+
+    def closer(sim):
+        yield sim.timeout(1)
+        pipe.write_end.close()
+
+    t = sim.spawn(reader(sim))
+    sim.spawn(closer(sim))
+    sim.run()
+    assert t.done.value == "unblocked"
+
+
+def test_duplex_pipe_close_propagates():
+    sim, host, phi = make_env()
+    dp = DuplexPipe(sim)
+    dp.a.close()
+    assert dp.a.closed
+
+    def worker(sim):
+        from repro.sim import ChannelClosed
+
+        with pytest.raises(ChannelClosed):
+            yield from dp.b.send("into the void")
+        return "ok"
+
+    assert run(sim, worker(sim)) == "ok"
+
+
+def test_exit_watcher_sees_memory_already_released():
+    sim, host, phi = make_env()
+    seen = {}
+
+    def watcher(proc):
+        seen["footprint"] = proc.memory_footprint
+        seen["os_process_bytes"] = host.memory.by_category.get("process", 0)
+
+    host.exit_watchers.append(watcher)
+
+    def worker(sim):
+        proc = yield from host.spawn_process("p", image_size=10 * MB)
+        proc.map_region("heap", 50 * MB)
+        proc.terminate()
+
+    run(sim, worker(sim))
+    assert seen["footprint"] == 0
+    assert seen["os_process_bytes"] == 0
+
+
+def test_fd_registry_closed_on_terminate():
+    sim, host, phi = make_env()
+    from repro.osim import RegularFileFD
+
+    def worker(sim):
+        proc = yield from host.spawn_process("p")
+        fd = RegularFileFD(sim, host.fs, "/f", "w")
+        proc.register_fd(fd)
+        proc.terminate()
+        return fd
+
+    fd = run(sim, worker(sim))
+    assert fd.closed

@@ -1,0 +1,332 @@
+"""Tests for simulated processes, signals, pipes and sockets."""
+
+import pytest
+
+from repro.hw import MB, HardwareParams, ServerNode
+from repro.osim import DuplexPipe, ProcessError, SocketError, UnixPipe, UnixSocket, boot_node, signals
+from repro.sim import Simulator, ThreadKilled
+
+
+def make_env():
+    sim = Simulator()
+    node = ServerNode(sim, HardwareParams())
+    host_os, phi_oses = boot_node(node)
+    return sim, host_os, phi_oses[0]
+
+
+def run(sim, gen):
+    t = sim.spawn(gen)
+    sim.run()
+    assert t.done.ok, t.done.exception
+    return t.done.value
+
+
+# --------------------------------------------------------------------------
+# Processes
+# --------------------------------------------------------------------------
+
+
+def test_spawn_process_charges_latency_and_memory():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app", image_size=10 * MB)
+        return proc, sim.now
+
+    proc, t = run(sim, worker(sim))
+    assert t == pytest.approx(host.spawn_latency)
+    assert proc.memory_footprint == 10 * MB
+    assert host.memory.by_category["process"] == 10 * MB
+
+
+def test_process_main_thread_runs():
+    sim, host, phi = make_env()
+    ran = []
+
+    def main(proc):
+        yield proc.sim.timeout(1)
+        ran.append(proc.name)
+
+    def worker(sim):
+        yield from host.spawn_process("app", main_factory=main)
+
+    run(sim, worker(sim))
+    assert ran == ["app"]
+
+
+def test_region_mapping_and_oom():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from phi.spawn_process("offload", image_size=20 * MB)
+        proc.map_region("heap", 4096 * MB, kind="heap")
+        return proc
+
+    proc = run(sim, worker(sim))
+    assert proc.memory_footprint == (4096 + 20) * MB
+    from repro.hw import MemoryExhausted
+
+    with pytest.raises(MemoryExhausted):
+        proc.map_region("huge", 8 * 1024 * MB)
+
+
+def test_region_duplicate_and_unknown_unmap():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app")
+        proc.map_region("a", 10)
+        with pytest.raises(ProcessError):
+            proc.map_region("a", 10)
+        with pytest.raises(ProcessError):
+            proc.unmap_region("b")
+        return "ok"
+
+    assert run(sim, worker(sim)) == "ok"
+
+
+def test_terminate_releases_everything_and_fires_exit():
+    sim, host, phi = make_env()
+    observed = []
+
+    def stuck(proc):
+        yield proc.sim.event("never")
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app", image_size=5 * MB)
+        proc.map_region("heap", 100 * MB)
+        t = proc.spawn_thread(stuck(proc), name="stuck")
+        proc.exit_event.add_callback(lambda ev: observed.append(ev.value))
+        yield sim.timeout(1)
+        proc.terminate(code=7)
+        return proc, t
+
+    proc, t = run(sim, worker(sim))
+    assert observed == [7]
+    assert proc.memory_footprint == 0
+    assert host.memory.by_category["process"] == 0
+    assert isinstance(t.done.exception, ThreadKilled)
+    assert proc.pid not in host.processes
+
+
+def test_exit_watchers_invoked():
+    sim, host, phi = make_env()
+    reaped = []
+    host.exit_watchers.append(lambda p: reaped.append(p.name))
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app")
+        proc.terminate()
+
+    run(sim, worker(sim))
+    assert reaped == ["app"]
+
+
+def test_signal_handler_spawns_thread():
+    sim, host, phi = make_env()
+    log = []
+
+    def handler(proc, signum):
+        yield proc.sim.timeout(0.5)
+        log.append((proc.name, signum, proc.sim.now))
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app")
+        proc.install_signal_handler(signals.SIGUSR1, handler)
+        proc.deliver_signal(signals.SIGUSR1)
+        yield proc.exit_event if False else sim.timeout(1)
+        return proc
+
+    run(sim, worker(sim))
+    assert len(log) == 1
+    assert log[0][1] == signals.SIGUSR1
+
+
+def test_default_fatal_signal_terminates():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app")
+        proc.deliver_signal(signals.SIGTERM)
+        return proc
+
+    proc = run(sim, worker(sim))
+    assert not proc.alive
+    assert proc.exit_code == 128 + signals.SIGTERM
+
+
+def test_sigkill_cannot_be_caught():
+    sim, host, phi = make_env()
+
+    def handler(proc, signum):
+        yield proc.sim.timeout(0)
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app")
+        with pytest.raises(ProcessError):
+            proc.install_signal_handler(signals.SIGKILL, handler)
+        return "ok"
+
+    assert run(sim, worker(sim)) == "ok"
+
+
+def test_unhandled_nonfatal_signal_ignored():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app")
+        proc.deliver_signal(signals.SIGUSR2)
+        return proc
+
+    proc = run(sim, worker(sim))
+    assert proc.alive
+
+
+def test_signal_to_dead_process_raises():
+    sim, host, phi = make_env()
+
+    def worker(sim):
+        proc = yield from host.spawn_process("app")
+        proc.terminate()
+        with pytest.raises(ProcessError):
+            proc.deliver_signal(signals.SIGUSR1)
+        return "ok"
+
+    assert run(sim, worker(sim)) == "ok"
+
+
+# --------------------------------------------------------------------------
+# Pipes
+# --------------------------------------------------------------------------
+
+
+def test_unix_pipe_directionality():
+    sim, host, phi = make_env()
+    pipe = UnixPipe(sim)
+
+    def worker(sim):
+        yield from pipe.write_end.send("msg")
+        msg = yield pipe.read_end.recv()
+        with pytest.raises(RuntimeError):
+            yield from pipe.read_end.send("x")
+        with pytest.raises(RuntimeError):
+            pipe.write_end.recv()
+        return msg
+
+    assert run(sim, worker(sim)) == "msg"
+
+
+def test_duplex_pipe_roundtrip():
+    sim, host, phi = make_env()
+    dp = DuplexPipe(sim)
+    log = []
+
+    def daemon_side(sim):
+        msg = yield dp.a.recv()
+        log.append(("daemon got", msg))
+        yield from dp.a.send("ack:" + msg)
+
+    def process_side(sim):
+        yield from dp.b.send("pause")
+        ack = yield dp.b.recv()
+        log.append(("process got", ack))
+
+    sim.spawn(daemon_side(sim))
+    sim.spawn(process_side(sim))
+    sim.run()
+    assert log == [("daemon got", "pause"), ("process got", "ack:pause")]
+
+
+# --------------------------------------------------------------------------
+# UNIX sockets
+# --------------------------------------------------------------------------
+
+
+def test_socket_listen_connect_transfer():
+    sim, host, phi = make_env()
+    listener = host.sockets.listen("/var/run/snapify-io.sock")
+    got = []
+
+    def server(sim):
+        conn = yield listener.accept()
+        n, rec = yield from conn.read_datagram()
+        got.append((n, rec))
+
+    def client(sim):
+        sock = yield from host.sockets.connect("/var/run/snapify-io.sock")
+        yield from sock.write(4 * MB, record=b"chunk")
+
+    sim.spawn(server(sim))
+    sim.spawn(client(sim))
+    sim.run()
+    assert got == [(4 * MB, b"chunk")]
+
+
+def test_socket_connect_refused():
+    sim, host, phi = make_env()
+
+    def client(sim):
+        yield sim.timeout(0)
+        with pytest.raises(SocketError):
+            yield from host.sockets.connect("/no/listener")
+        return "ok"
+
+    assert run(sim, client(sim)) == "ok"
+
+
+def test_socket_eof_on_close():
+    sim, host, phi = make_env()
+    a, b = UnixSocket.pair(sim, bandwidth=1e9)
+    results = []
+
+    def reader(sim):
+        rec = yield from b.read()
+        results.append(rec)
+        rec = yield from b.read()
+        results.append(rec)  # EOF -> None
+
+    def writer(sim):
+        yield from a.write(10, record="only")
+        a.close()
+
+    sim.spawn(reader(sim))
+    sim.spawn(writer(sim))
+    sim.run()
+    assert results == ["only", None]
+
+
+def test_socket_write_after_peer_close_epipe():
+    sim, host, phi = make_env()
+    a, b = UnixSocket.pair(sim, bandwidth=1e9)
+
+    def worker(sim):
+        b.close()
+        with pytest.raises(SocketError):
+            yield from a.write(10, record="x")
+        return "ok"
+
+    assert run(sim, worker(sim)) == "ok"
+
+
+def test_socket_transfer_charges_bandwidth():
+    sim, host, phi = make_env()
+    a, b = UnixSocket.pair(sim, bandwidth=100 * MB)
+
+    def reader(sim):
+        yield from b.read()
+
+    def writer(sim):
+        yield from a.write(200 * MB)
+        return sim.now
+
+    sim.spawn(reader(sim))
+    t = sim.spawn(writer(sim))
+    sim.run()
+    assert t.done.value == pytest.approx(2.0)
+
+
+def test_socket_address_in_use():
+    sim, host, phi = make_env()
+    host.sockets.listen("/sock")
+    with pytest.raises(SocketError):
+        host.sockets.listen("/sock")

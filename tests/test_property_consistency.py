@@ -1,0 +1,215 @@
+"""Property-based tests of the headline guarantee: a snapshot taken at ANY
+instant — mid-offload-call, mid-transfer, between iterations — followed by
+restart/swap-in/migration yields exactly the result of a failure-free run.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from repro.blcr import ProcessContext, cr_checkpoint, cr_restart
+from repro.hw import MB
+from repro.osim import RegularFileFD
+from repro.snapify import (
+    checkpoint_offload_app,
+    restart_offload_app,
+    snapify_t,
+)
+from repro.snapify.usecases import snapify_migration, snapify_swapin, snapify_swapout
+from repro.testbed import XeonPhiServer
+
+#: A small, fast profile: ~21 ms/iteration, 18 iterations ≈ 0.4 s of sim.
+PROFILE = replace(OPENMP_BENCHMARKS["MC"], iterations=18)
+EXPECTED = expected_checksum(PROFILE.iterations)
+
+prop_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@prop_settings
+@given(t_snap=st.floats(min_value=0.55, max_value=1.2))
+def test_checkpoint_restart_at_any_instant(t_snap):
+    """Full dual-process failure + restart at an arbitrary snapshot time."""
+    server = XeonPhiServer()
+    app = OffloadApplication(server, PROFILE)
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(t_snap)
+        snap = snapify_t(snapshot_path="/p/ckpt", coiproc=app.coiproc)
+        yield from checkpoint_offload_app(snap)
+        app.host_proc.terminate(code=1)
+        yield sim.timeout(0.02)
+        result = yield from restart_offload_app(server.host_os, "/p/ckpt",
+                                                server.engine(0))
+        yield result.host_proc.main_thread.done
+        return result.host_proc.store["checksum"]
+
+    assert server.run(driver(server.sim)) == EXPECTED
+
+
+@prop_settings
+@given(t_mig=st.floats(min_value=0.55, max_value=1.2))
+def test_migration_at_any_instant(t_mig):
+    server = XeonPhiServer()
+    app = OffloadApplication(server, PROFILE)
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(t_mig)
+        new, _ = yield from snapify_migration(app.coiproc, server.engine(1),
+                                              snapshot_path="/p/mig")
+        app.host_proc.runtime["coi_handle"] = new
+        yield app.host_proc.main_thread.done
+        return app.host_proc.store["checksum"]
+
+    assert server.run(driver(server.sim)) == EXPECTED
+
+
+@prop_settings
+@given(
+    t_out=st.floats(min_value=0.55, max_value=1.0),
+    dwell=st.floats(min_value=0.01, max_value=1.5),
+    target=st.integers(min_value=0, max_value=1),
+)
+def test_swap_cycle_at_any_instant(t_out, dwell, target):
+    """Swap out at an arbitrary time, dwell, swap in on either card."""
+    server = XeonPhiServer()
+    app = OffloadApplication(server, PROFILE)
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(t_out)
+        snap = yield from snapify_swapout("/p/swap", app.coiproc)
+        iter_frozen = app.host_proc.store["iter"]
+        yield sim.timeout(dwell)
+        # Iteration counter may advance by at most the one call that was in
+        # flight when the pause landed; beyond that the app must be frozen.
+        assert app.host_proc.store["iter"] <= iter_frozen + 1
+        new = yield from snapify_swapin(snap, server.engine(target))
+        app.host_proc.runtime["coi_handle"] = new
+        yield app.host_proc.main_thread.done
+        return app.host_proc.store["checksum"]
+
+    assert server.run(driver(server.sim)) == EXPECTED
+
+
+@prop_settings
+@given(
+    ops=st.lists(
+        st.sampled_from(["checkpoint", "migrate", "swap"]),
+        min_size=1, max_size=3,
+    ),
+    gap=st.floats(min_value=0.3, max_value=0.8),
+)
+def test_random_operation_sequences(ops, gap):
+    """Arbitrary interleavings of checkpoint/migrate/swap leave the final
+    checksum untouched."""
+    server = XeonPhiServer()
+    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=30)
+    app = OffloadApplication(server, profile)
+
+    def driver(sim):
+        yield from app.launch()
+        # Contract (same one the snapify CLI honors): operations that
+        # REPLACE the handle must hold the application gate so no app
+        # thread is mid-operation on the dying handle. Plain checkpoints
+        # don't need it — the handle survives.
+        gate = app.host_proc.runtime["app_gate"]
+        device = 0
+        for i, op in enumerate(ops):
+            yield sim.timeout(gap)
+            if not app.host_proc.alive or app.host_proc.store.get("finished"):
+                break
+            if op == "checkpoint":
+                handle = app.host_proc.runtime["coi_handle"]
+                snap = snapify_t(snapshot_path=f"/p/seq{i}", coiproc=handle)
+                yield from checkpoint_offload_app(snap)
+            elif op == "migrate":
+                yield gate.acquire(owner="test-migrate")
+                try:
+                    handle = app.host_proc.runtime["coi_handle"]
+                    device = 1 - device
+                    new, _ = yield from snapify_migration(
+                        handle, server.engine(device), snapshot_path=f"/p/seq{i}"
+                    )
+                    app.host_proc.runtime["coi_handle"] = new
+                finally:
+                    gate.release()
+            else:  # swap out and straight back in
+                yield gate.acquire(owner="test-swap")
+                try:
+                    handle = app.host_proc.runtime["coi_handle"]
+                    snap = yield from snapify_swapout(f"/p/seq{i}", handle)
+                    new = yield from snapify_swapin(snap, server.engine(device))
+                    app.host_proc.runtime["coi_handle"] = new
+                finally:
+                    gate.release()
+        yield app.host_proc.main_thread.done
+        return app.host_proc.store["checksum"]
+
+    assert server.run(driver(server.sim)) == expected_checksum(30)
+
+
+# ---------------------------------------------------------------------------
+# BLCR round-trip with arbitrary process shapes
+# ---------------------------------------------------------------------------
+
+region_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["heap", "stack", "coi_buffer"]),
+        st.integers(min_value=1, max_value=64 * MB),
+        st.booleans(),  # pinned
+    ),
+    min_size=0, max_size=6,
+)
+
+store_strategy = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(), st.text(max_size=12),
+              st.lists(st.integers(), max_size=4)),
+    max_size=5,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(regions=region_strategy, store=store_strategy)
+def test_blcr_roundtrip_arbitrary_processes(regions, store):
+    server = XeonPhiServer()
+    phi = server.phi_os(0)
+
+    def driver(sim):
+        def spin(proc):
+            while True:
+                yield proc.sim.timeout(1)
+
+        proc = yield from phi.spawn_process("rand", image_size=1 * MB,
+                                            main_factory=spin)
+        for i, (kind, size, pinned) in enumerate(regions):
+            proc.map_region(f"r{i}", size, kind=kind,
+                            data={"i": i, "size": size}, pinned=pinned)
+        proc.store.update(store)
+        fd = RegularFileFD(sim, server.host_os.fs, "/rt", "w")
+        ctx = yield from cr_checkpoint(proc, fd)
+        fd.close()
+        proc.terminate()
+        rfd = RegularFileFD(sim, server.host_os.fs, "/rt", "r")
+        restored = yield from cr_restart(phi, rfd, start=False)
+        rfd.close()
+        return ctx, restored
+
+    ctx, restored = server.run(driver(server.sim))
+    assert isinstance(ctx, ProcessContext)
+    for i, (kind, size, pinned) in enumerate(regions):
+        region = restored.region(f"r{i}")
+        assert (region.kind, region.size, region.pinned) == (kind, size, pinned)
+        assert region.data == {"i": i, "size": size}
+    for key, value in store.items():
+        assert restored.store[key] == value
+    assert restored.memory_footprint == sum(s for _, s, _ in regions) + 1 * MB

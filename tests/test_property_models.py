@@ -1,0 +1,191 @@
+"""Property-based tests on the hardware/transport cost models: simulated
+costs must be monotone, additive where expected, and free of negative or
+NaN times for any admissible input."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    GB,
+    KB,
+    MB,
+    BandwidthLink,
+    HardwareParams,
+    MemoryParams,
+    PhysicalMemory,
+    ServerNode,
+)
+from repro.hw.storage import HostDisk
+from repro.hw.params import DiskParams
+from repro.osim import boot_node
+from repro.sim import Simulator
+from repro.snapify_io import NFSMount
+
+sizes = st.integers(min_value=1, max_value=2 * GB)
+prop = settings(max_examples=40, deadline=None)
+
+
+def timed(sim, gen):
+    t0 = sim.now
+    th = sim.spawn(gen)
+    sim.run_until(th.done)
+    assert th.done.ok, th.done.exception
+    return sim.now - t0
+
+
+# ---------------------------------------------------------------------------
+# Links
+# ---------------------------------------------------------------------------
+
+
+@prop
+@given(n=sizes, bw=st.floats(min_value=1 * MB, max_value=10 * GB))
+def test_link_cost_is_linear(n, bw):
+    sim = Simulator()
+    link = BandwidthLink(sim, bandwidth=bw)
+
+    def xfer(nbytes):
+        yield from link.occupy(nbytes)
+
+    t1 = timed(sim, xfer(n))
+    assert t1 == pytest.approx(n / bw)
+    assert t1 >= 0 and math.isfinite(t1)
+
+
+@prop
+@given(a=sizes, b=sizes)
+def test_link_transfers_are_additive(a, b):
+    sim = Simulator()
+    link = BandwidthLink(sim, bandwidth=1 * GB)
+
+    def both(sim):
+        yield from link.occupy(a)
+        yield from link.occupy(b)
+
+    def single(sim):
+        yield from link.occupy(a + b)
+
+    t_both = timed(sim, both(sim))
+    sim2 = Simulator()
+    link2 = BandwidthLink(sim2, bandwidth=1 * GB)
+
+    def single2(sim):
+        yield from link2.occupy(a + b)
+
+    t_single = timed(sim2, single2(sim2))
+    assert t_both == pytest.approx(t_single, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Memory accounting
+# ---------------------------------------------------------------------------
+
+
+@prop
+@given(
+    allocs=st.lists(st.integers(min_value=1, max_value=512 * MB), max_size=20)
+)
+def test_memory_accounting_is_exact(allocs):
+    sim = Simulator()
+    mem = PhysicalMemory(sim, MemoryParams(capacity=64 * GB))
+    total = 0
+    for i, n in enumerate(allocs):
+        mem.allocate(n, f"c{i % 3}")
+        total += n
+    assert mem.used == total
+    assert mem.available == mem.capacity - total
+    for i, n in enumerate(allocs):
+        mem.free(n, f"c{i % 3}")
+    assert mem.used == 0
+    assert all(v == 0 for v in mem.by_category.values())
+
+
+# ---------------------------------------------------------------------------
+# Disk (sync path)
+# ---------------------------------------------------------------------------
+
+
+@prop
+@given(n=sizes)
+def test_sync_write_cost_model(n):
+    sim = Simulator()
+    disk = HostDisk(sim, DiskParams(write_bw=120 * MB, op_latency=1e-4),
+                    memcpy_bw=6 * GB)
+
+    def w(sim):
+        yield from disk.write(n, sync=True)
+
+    t = timed(sim, w(sim))
+    assert t == pytest.approx(1e-4 + n / (120 * MB))
+
+
+# ---------------------------------------------------------------------------
+# NFS model
+# ---------------------------------------------------------------------------
+
+
+def make_nfs(sync=True):
+    sim = Simulator()
+    node = ServerNode(sim, HardwareParams())
+    host, phis = boot_node(node)
+    return sim, NFSMount(phis[0], host.fs, node.params.nfs, sync_writes=sync)
+
+
+@prop
+@given(n=st.integers(min_value=1, max_value=256 * MB))
+def test_nfs_sync_write_cost_positive_and_monotone_pieces(n):
+    sim, mount = make_nfs()
+
+    def w(sim):
+        yield from mount.write("/f", n)
+
+    t = timed(sim, w(sim))
+    params = mount.params
+    n_rpcs = max(1, -(-n // params.rpc_size))
+    assert t >= n_rpcs * params.op_latency
+    assert t >= n / params.write_bw
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    chunks=st.lists(st.integers(min_value=1, max_value=4 * MB),
+                    min_size=1, max_size=12)
+)
+def test_nfs_small_writes_cost_at_least_one_rpc_each(chunks):
+    sim, mount = make_nfs()
+
+    def w(sim):
+        for c in chunks:
+            yield from mount.write("/f", c)
+
+    t = timed(sim, w(sim))
+    assert t >= len(chunks) * mount.params.op_latency
+    assert mount.rpc_count >= len(chunks)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    reads=st.lists(st.integers(min_value=64, max_value=64 * KB),
+                   min_size=2, max_size=30)
+)
+def test_nfs_readahead_never_refetches(reads):
+    """Sequential reads fetch each rpc_size window at most once."""
+    sim, mount = make_nfs(sync=False)
+    total = sum(reads)
+
+    def setup(sim):
+        yield from mount.host_fs.write("/f", total)
+
+    timed(sim, setup(sim))
+
+    def r(sim):
+        for n in reads:
+            yield from mount.read("/f", n)
+
+    mount.rpc_count = 0
+    timed(sim, r(sim))
+    max_windows = -(-total // mount.params.rpc_size) + 1
+    assert mount.rpc_count <= max_windows

@@ -1,0 +1,172 @@
+"""Tests for fault injection, proactive migration and the swap scheduler."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from repro.hw import GB, MB
+from repro.sched import FaultInjector, ProactiveMigrator, SwapScheduler
+from repro.testbed import XeonPhiServer
+
+
+def profile(name="MC", iterations=20, **overrides):
+    return replace(OPENMP_BENCHMARKS[name], iterations=iterations, **overrides)
+
+
+def test_card_failure_kills_processes():
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    app = OffloadApplication(server, profile(iterations=100))
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(0.2)
+        ev = injector.schedule_card_failure(server.node.phis[0], at=sim.now + 0.1)
+        yield ev
+        yield sim.timeout(0.05)
+
+    server.run(driver(server.sim))
+    assert not app.coiproc.offload_proc.alive
+    assert injector.is_failed(server.node.phis[0])
+
+
+def test_failure_in_past_rejected():
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+
+    def driver(sim):
+        yield sim.timeout(5)
+        with pytest.raises(ValueError):
+            injector.schedule_card_failure(server.node.phis[0], at=1.0)
+        return "ok"
+
+    assert server.run(driver(server.sim)) == "ok"
+
+
+def test_proactive_migration_saves_the_job():
+    """With enough warning the job survives the card failure and finishes
+    with the correct checksum on the other card."""
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    migrator = ProactiveMigrator(server, injector)
+    app = OffloadApplication(server, profile("KM", iterations=1500), device=0)
+
+    def driver(sim):
+        yield from app.launch()
+        migrator.track(app.host_proc, device=0)
+        yield sim.timeout(0.2)
+        # Swap-out + swap-in of KM takes ~2 s (libs copy, local store,
+        # context); a realistic prediction lead comfortably covers it.
+        injector.schedule_card_failure(
+            server.node.phis[0], at=sim.now + 4.0, warning_lead=3.8
+        )
+        yield app.host_proc.main_thread.done
+
+    server.run(driver(server.sim))
+    assert app.verify()
+    assert len(migrator.migrations_done) == 1
+    name, src, dst, when = migrator.migrations_done[0]
+    assert (src, dst) == (0, 1)
+    assert app.coiproc.offload_proc.os is server.phi_os(1)
+
+
+def test_no_warning_means_job_dies():
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    migrator = ProactiveMigrator(server, injector)
+    app = OffloadApplication(server, profile("KM", iterations=400), device=0)
+
+    def driver(sim):
+        yield from app.launch()
+        migrator.track(app.host_proc, device=0)
+        yield sim.timeout(0.2)
+        ev = injector.schedule_card_failure(server.node.phis[0], at=sim.now + 0.05)
+        yield ev
+        yield sim.timeout(0.1)
+
+    server.run(driver(server.sim))
+    assert migrator.migrations_done == []
+    assert not app.coiproc.offload_proc.alive
+
+
+def test_swap_scheduler_makes_room_and_reclaims():
+    server = XeonPhiServer()
+    sched = SwapScheduler(server, device=0, headroom=256 * MB)
+    # Two tenants that together blow the 8 GB card; SS is the big one.
+    big = OffloadApplication(server, profile("SS", iterations=60), name="big")
+    small = OffloadApplication(server, profile("MC", iterations=60), name="small")
+    out = {}
+
+    def driver(sim):
+        yield from big.launch()
+        yield sim.timeout(1.0)
+        sched.register(big.host_proc, footprint=2 * GB)
+        # Pretend the next job needs 7 GB: the scheduler must evict `big`.
+        victims = yield from sched.make_room(incoming=7 * GB)
+        out["victims"] = [v.host_proc.name for v in victims]
+        out["free_after_evict"] = server.node.phis[0].memory.available
+        yield sim.timeout(0.5)
+        # The 7 GB job "finished"; bring the victim back.
+        returned = yield from sched.reclaim()
+        out["returned"] = [j.host_proc.name for j in returned]
+        yield big.host_proc.main_thread.done
+
+    server.run(driver(server.sim))
+    assert out["victims"] == ["big"]
+    assert out["free_after_evict"] > 7 * GB
+    assert out["returned"] == ["big"]
+    assert big.verify()
+    assert sched.jobs[big.host_proc.pid].swap_count == 1
+
+
+def test_swap_scheduler_noop_when_room_exists():
+    server = XeonPhiServer()
+    sched = SwapScheduler(server, device=0)
+    app = OffloadApplication(server, profile("MC", iterations=10))
+
+    def driver(sim):
+        yield from app.launch()
+        yield sim.timeout(0.2)
+        sched.register(app.host_proc, footprint=50 * MB)
+        victims = yield from sched.make_room(incoming=100 * MB)
+        yield app.host_proc.main_thread.done
+        return victims
+
+    assert server.run(driver(server.sim)) == []
+    assert app.verify()
+
+
+def test_card_repair_reboots_daemons_and_accepts_work():
+    from repro.apps import OffloadApplication as _App
+    from repro.coi import COIDaemon
+    from repro.snapify_io import SnapifyIODaemon
+
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+
+    def driver(sim):
+        ev = injector.schedule_card_failure(server.node.phis[0], at=1.0,
+                                            repair_after=2.0)
+        yield ev
+        assert injector.is_failed(server.node.phis[0])
+        yield sim.timeout(2.5)  # past the repair
+        assert not injector.is_failed(server.node.phis[0])
+        # The rebooted daemons accept a brand new offload application.
+        app = _App(server, profile("MC", iterations=5), device=0)
+        yield from app.launch()
+        yield app.host_proc.main_thread.done
+        return app
+
+    app = server.run(driver(server.sim))
+    assert app.verify()
+    assert COIDaemon.of(server.node.phis[0]).proc.alive
+    assert SnapifyIODaemon.of(server.phi_os(0)).proc.alive
+
+
+def test_repair_requires_positive_delay():
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    with pytest.raises(ValueError):
+        injector.schedule_card_failure(server.node.phis[0], at=1.0,
+                                       repair_after=0)

@@ -1,0 +1,239 @@
+"""Unit + property tests for FIFO channels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Channel, ChannelClosed, Simulator
+
+
+def test_send_then_recv():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def worker(sim):
+        yield ch.send("hello")
+        msg = yield ch.recv()
+        return msg
+
+    t = sim.spawn(worker(sim))
+    sim.run()
+    assert t.done.value == "hello"
+
+
+def test_recv_blocks_until_send():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = []
+
+    def consumer(sim):
+        msg = yield ch.recv()
+        got.append((msg, sim.now))
+
+    def producer(sim):
+        yield sim.timeout(5)
+        yield ch.send("late")
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert got == [("late", 5)]
+
+
+def test_fifo_ordering():
+    sim = Simulator()
+    ch = Channel(sim)
+    received = []
+
+    def producer(sim):
+        for i in range(10):
+            yield ch.send(i)
+
+    def consumer(sim):
+        for _ in range(10):
+            msg = yield ch.recv()
+            received.append(msg)
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert received == list(range(10))
+
+
+def test_multiple_receivers_fifo():
+    sim = Simulator()
+    ch = Channel(sim)
+    results = {}
+
+    def consumer(sim, tag):
+        msg = yield ch.recv()
+        results[tag] = msg
+
+    def producer(sim):
+        yield sim.timeout(1)
+        yield ch.send("first")
+        yield ch.send("second")
+
+    sim.spawn(consumer(sim, "a"))
+    sim.spawn(consumer(sim, "b"))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert results == {"a": "first", "b": "second"}
+
+
+def test_bounded_channel_backpressure():
+    sim = Simulator()
+    ch = Channel(sim, capacity=2)
+    timeline = []
+
+    def producer(sim):
+        for i in range(4):
+            yield ch.send(i)
+            timeline.append(("sent", i, sim.now))
+
+    def consumer(sim):
+        for _ in range(4):
+            yield sim.timeout(10)
+            yield ch.recv()
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    sent_times = [t for op, i, t in timeline]
+    # First two fit in capacity at t=0; the rest wait for consumer drains.
+    assert sent_times[0] == 0 and sent_times[1] == 0
+    assert sent_times[2] == 10 and sent_times[3] == 20
+
+
+def test_try_recv():
+    sim = Simulator()
+    ch = Channel(sim)
+    ok, item = ch.try_recv()
+    assert not ok and item is None
+
+    def worker(sim):
+        yield ch.send("x")
+
+    sim.spawn(worker(sim))
+    sim.run()
+    ok, item = ch.try_recv()
+    assert ok and item == "x"
+
+
+def test_close_fails_pending_recv():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def consumer(sim):
+        with pytest.raises(ChannelClosed):
+            yield ch.recv()
+        return "handled"
+
+    def closer(sim):
+        yield sim.timeout(1)
+        ch.close()
+
+    t = sim.spawn(consumer(sim))
+    sim.spawn(closer(sim))
+    sim.run()
+    assert t.done.value == "handled"
+
+
+def test_send_on_closed_channel_fails():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.close()
+
+    def producer(sim):
+        with pytest.raises(ChannelClosed):
+            yield ch.send("x")
+        return "handled"
+
+    t = sim.spawn(producer(sim))
+    sim.run()
+    assert t.done.value == "handled"
+
+
+def test_in_flight_accounting():
+    sim = Simulator()
+    ch = Channel(sim, capacity=1)
+
+    def producer(sim):
+        yield ch.send(1)
+        yield ch.send(2)  # blocks (capacity 1)
+
+    sim.spawn(producer(sim))
+    sim.run(until=0.5, check_deadlock=False)
+    assert ch.qsize == 1
+    assert ch.in_flight == 2
+
+
+def test_counters():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def worker(sim):
+        for i in range(5):
+            yield ch.send(i)
+        for _ in range(3):
+            yield ch.recv()
+
+    sim.spawn(worker(sim))
+    sim.run()
+    assert ch.sent_count == 5
+    assert ch.received_count == 3
+    assert ch.qsize == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(st.integers(), max_size=40), chunk=st.integers(min_value=1, max_value=7))
+def test_property_fifo_preserved_under_interleaving(items, chunk):
+    """Whatever the producer/consumer interleaving, order is preserved."""
+    sim = Simulator()
+    ch = Channel(sim)
+    received = []
+
+    def producer(sim):
+        for i, item in enumerate(items):
+            if i % chunk == 0:
+                yield sim.timeout(1)
+            yield ch.send(item)
+
+    def consumer(sim):
+        for i in range(len(items)):
+            if i % (chunk + 1) == 0:
+                yield sim.timeout(1)
+            msg = yield ch.recv()
+            received.append(msg)
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert received == items
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    n=st.integers(min_value=0, max_value=30),
+)
+def test_property_bounded_channel_never_exceeds_capacity(capacity, n):
+    sim = Simulator()
+    ch = Channel(sim, capacity=capacity)
+    max_q = 0
+
+    def producer(sim):
+        for i in range(n):
+            yield ch.send(i)
+
+    def consumer(sim):
+        nonlocal max_q
+        for _ in range(n):
+            yield sim.timeout(0.1)
+            max_q = max(max_q, ch.qsize)
+            yield ch.recv()
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert max_q <= capacity

@@ -1,0 +1,230 @@
+"""Edge paths of the simulation kernel not covered by the basic tests."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Channel,
+    DeadlockError,
+    Event,
+    Interrupted,
+    Mutex,
+    Simulator,
+)
+
+
+def test_anyof_propagates_failure_of_first_trigger():
+    sim = Simulator()
+
+    def worker(sim):
+        bad = sim.event("bad")
+        slow = sim.timeout(10)
+        sim.schedule(1, bad.fail, ValueError("boom"))
+        with pytest.raises(ValueError):
+            yield sim.any_of([slow, bad])
+        return "handled"
+
+    t = sim.spawn(worker(sim))
+    sim.run(check_deadlock=False)
+    assert t.done.value == "handled"
+
+
+def test_allof_propagates_first_failure():
+    sim = Simulator()
+
+    def worker(sim):
+        bad = sim.event("bad")
+        sim.schedule(1, bad.fail, KeyError("x"))
+        with pytest.raises(KeyError):
+            yield sim.all_of([sim.timeout(5), bad])
+        return "handled"
+
+    t = sim.spawn(worker(sim))
+    sim.run(check_deadlock=False)
+    assert t.done.value == "handled"
+
+
+def test_anyof_requires_events():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        AnyOf(sim, [])
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_event_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not-an-exception")
+
+
+def test_interrupt_running_or_finished_thread_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1)
+        return "done"
+
+    t = sim.spawn(quick(sim))
+    sim.run()
+    t.interrupt("too late")  # finished: no effect, no error
+    assert t.done.value == "done"
+
+
+def test_interrupt_race_with_completed_wait():
+    """A signal landing exactly when a wait completes must deliver exactly
+    one resume per wait: either the value or ONE interrupt, never both."""
+    sim = Simulator()
+    log = []
+
+    def worker(sim):
+        for k in range(2):
+            try:
+                v = yield sim.timeout(1.0, f"normal{k}")
+                log.append(v)
+            except Interrupted:
+                log.append(f"interrupted{k}")
+        return "survived"
+
+    t = sim.spawn(worker(sim))
+
+    def interrupter(sim):
+        yield sim.timeout(1.0)  # same instant the first timeout fires
+        t.interrupt("race")
+
+    sim.spawn(interrupter(sim))
+    sim.run()
+    assert t.done.value == "survived"
+    assert len(log) == 2
+    # The signal was consumed by at most one wait.
+    assert sum(1 for entry in log if entry.startswith("interrupted")) <= 1
+
+
+def test_kill_idempotent_and_join_sees_failure():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.event("forever")
+
+    t = sim.spawn(worker(sim))
+
+    def killer(sim):
+        yield sim.timeout(1)
+        t.kill()
+        t.kill()  # second kill: no-op
+        try:
+            yield t.done
+        except Exception as exc:
+            return type(exc).__name__
+
+    k = sim.spawn(killer(sim))
+    sim.run(check_deadlock=False)
+    assert k.done.value == "ThreadKilled"
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn(lambda: None)  # not a generator
+
+
+def test_mutex_waiter_cancelled_by_interrupt_is_skipped():
+    """A thread interrupted while queued on a mutex must not receive
+    ownership later (its acquire event is stale)."""
+    sim = Simulator()
+    mutex = Mutex(sim)
+    order = []
+
+    def holder(sim):
+        yield mutex.acquire(owner="holder")
+        yield sim.timeout(2)
+        mutex.release()
+
+    def victim(sim):
+        try:
+            yield mutex.acquire(owner="victim")
+            order.append("victim-acquired")
+            mutex.release()
+        except Interrupted:
+            order.append("victim-interrupted")
+
+    def third(sim):
+        yield sim.timeout(0.5)
+        yield mutex.acquire(owner="third")
+        order.append("third-acquired")
+        mutex.release()
+
+    sim.spawn(holder(sim))
+    v = sim.spawn(victim(sim))
+    sim.spawn(third(sim))
+
+    def interrupter(sim):
+        yield sim.timeout(1)
+        v.interrupt("cancel")
+
+    sim.spawn(interrupter(sim))
+    sim.run()
+    assert order == ["victim-interrupted", "third-acquired"]
+    assert not mutex.locked
+
+
+def test_channel_close_with_custom_error_class():
+    from repro.sim import SimError
+
+    class CustomReset(SimError):
+        pass
+
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.close(CustomReset("gone"))
+
+    def worker(sim):
+        with pytest.raises(CustomReset):
+            yield ch.recv()
+        with pytest.raises(CustomReset):
+            yield ch.send(1)
+        return "ok"
+
+    t = sim.spawn(worker(sim))
+    sim.run()
+    assert t.done.value == "ok"
+
+
+def test_run_resumes_after_until():
+    sim = Simulator()
+    hits = []
+
+    def ticker(sim):
+        for i in range(5):
+            yield sim.timeout(1)
+            hits.append(i)
+
+    sim.spawn(ticker(sim))
+    sim.run(until=2.5)
+    assert hits == [0, 1]
+    sim.run()
+    assert hits == [0, 1, 2, 3, 4]
+
+
+def test_deadlock_error_names_blocked_threads():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event("the-event-that-never-fires")
+
+    sim.spawn(stuck(sim), name="my-stuck-thread")
+    with pytest.raises(DeadlockError, match="my-stuck-thread"):
+        sim.run()

@@ -1,0 +1,223 @@
+"""Unit tests for synchronization primitives: Mutex, Semaphore, Barrier, Condition."""
+
+import pytest
+
+from repro.sim import Barrier, Condition, Mutex, Semaphore, Simulator
+
+
+def test_mutex_mutual_exclusion():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    inside = []
+    max_inside = []
+
+    def worker(sim, tag):
+        yield mutex.acquire(owner=tag)
+        inside.append(tag)
+        max_inside.append(len(inside))
+        yield sim.timeout(1)
+        inside.remove(tag)
+        mutex.release()
+
+    for tag in range(5):
+        sim.spawn(worker(sim, tag))
+    sim.run()
+    assert max(max_inside) == 1
+    assert sim.now == 5  # fully serialized
+
+
+def test_mutex_fifo_ordering():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    order = []
+
+    def worker(sim, tag, arrive):
+        yield sim.timeout(arrive)
+        yield mutex.acquire(owner=tag)
+        order.append(tag)
+        yield sim.timeout(10)
+        mutex.release()
+
+    for tag, arrive in [("a", 0), ("b", 1), ("c", 2), ("d", 3)]:
+        sim.spawn(worker(sim, tag, arrive))
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_mutex_try_acquire():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    assert mutex.try_acquire("me")
+    assert not mutex.try_acquire("you")
+    assert mutex.owner == "me"
+    mutex.release()
+    assert mutex.try_acquire("you")
+
+
+def test_mutex_release_unlocked_raises():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    with pytest.raises(RuntimeError):
+        mutex.release()
+
+
+def test_mutex_owner_tracking_across_handoff():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    owners = []
+
+    def holder(sim):
+        yield mutex.acquire(owner="first")
+        owners.append(mutex.owner)
+        yield sim.timeout(1)
+        mutex.release()
+
+    def waiter(sim):
+        yield mutex.acquire(owner="second")
+        owners.append(mutex.owner)
+        mutex.release()
+
+    sim.spawn(holder(sim))
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert owners == ["first", "second"]
+
+
+def test_semaphore_counts():
+    sim = Simulator()
+    sem = Semaphore(sim, value=2)
+    active = []
+    peak = []
+
+    def worker(sim, tag):
+        yield sem.wait()
+        active.append(tag)
+        peak.append(len(active))
+        yield sim.timeout(1)
+        active.remove(tag)
+        sem.post()
+
+    for tag in range(6):
+        sim.spawn(worker(sim, tag))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == 3
+
+
+def test_semaphore_post_before_wait():
+    sim = Simulator()
+    sem = Semaphore(sim, value=0)
+    sem.post(3)
+
+    def worker(sim):
+        yield sem.wait()
+        yield sem.wait()
+        yield sem.wait()
+        return "got-all"
+
+    t = sim.spawn(worker(sim))
+    sim.run()
+    assert t.done.value == "got-all"
+
+
+def test_semaphore_negative_initial_value():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, value=-1)
+
+
+def test_barrier_releases_all_at_once():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=3)
+    release_times = []
+
+    def worker(sim, delay):
+        yield sim.timeout(delay)
+        yield barrier.wait()
+        release_times.append(sim.now)
+
+    for delay in (1, 5, 9):
+        sim.spawn(worker(sim, delay))
+    sim.run()
+    assert release_times == [9, 9, 9]
+
+
+def test_barrier_is_reusable_across_generations():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=2)
+    gens = []
+
+    def worker(sim):
+        g0 = yield barrier.wait()
+        g1 = yield barrier.wait()
+        gens.append((g0, g1))
+
+    sim.spawn(worker(sim))
+    sim.spawn(worker(sim))
+    sim.run()
+    assert gens == [(0, 1), (0, 1)]
+
+
+def test_condition_wait_notify():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    cond = Condition(sim, mutex)
+    state = {"ready": False}
+    log = []
+
+    def consumer(sim):
+        yield mutex.acquire()
+        while not state["ready"]:
+            yield from cond.wait()
+        log.append(("consumed", sim.now))
+        mutex.release()
+
+    def producer(sim):
+        yield sim.timeout(4)
+        yield mutex.acquire()
+        state["ready"] = True
+        cond.notify()
+        mutex.release()
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert log == [("consumed", 4)]
+
+
+def test_condition_wait_requires_lock():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    cond = Condition(sim, mutex)
+
+    def bad(sim):
+        yield from cond.wait()
+
+    t = sim.spawn(bad(sim))
+    sim.run()
+    assert isinstance(t.done.exception, RuntimeError)
+
+
+def test_condition_notify_all():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    cond = Condition(sim, mutex)
+    woken = []
+
+    def waiter(sim, tag):
+        yield mutex.acquire()
+        yield from cond.wait()
+        woken.append(tag)
+        mutex.release()
+
+    def broadcaster(sim):
+        yield sim.timeout(1)
+        yield mutex.acquire()
+        cond.notify_all()
+        mutex.release()
+
+    for tag in range(3):
+        sim.spawn(waiter(sim, tag))
+    sim.spawn(broadcaster(sim))
+    sim.run()
+    assert sorted(woken) == [0, 1, 2]

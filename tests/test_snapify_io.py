@@ -1,0 +1,352 @@
+"""Tests for Snapify-IO, the NFS baselines and scp."""
+
+import pytest
+
+from repro.blcr import cr_checkpoint, cr_restart
+from repro.hw import GB, KB, MB, HardwareParams, ServerNode
+from repro.osim import RegularFileFD, boot_node
+from repro.scif import ScifNetwork
+from repro.sim import Simulator
+from repro.snapify_io import (
+    NFSKernelBufferedFD,
+    NFSMount,
+    NFSUserBufferedFD,
+    SnapifyIODaemon,
+    scp_copy,
+    snapifyio_open,
+)
+
+
+def make_env(phis=1):
+    sim = Simulator()
+    node = ServerNode(sim, HardwareParams(phis_per_node=phis))
+    host_os, phi_oses = boot_node(node)
+    ScifNetwork.of(node)
+
+    def boot(sim):
+        yield from SnapifyIODaemon.boot_all(node)
+
+    t = sim.spawn(boot(sim))
+    sim.run_until(t.done)
+    assert t.done.ok, t.done.exception
+    return sim, node, host_os, phi_oses
+
+
+def run(sim, gen):
+    t = sim.spawn(gen)
+    sim.run_until(t.done)
+    assert t.done.ok, t.done.exception
+    return t.done.value
+
+
+def test_write_from_phi_to_host_creates_remote_file():
+    sim, node, host, phis = make_env()
+
+    def work(sim):
+        fd = yield from snapifyio_open(phis[0], node=0, path="/snap/ctx", mode="w")
+        yield from fd.write(100 * MB, record={"hdr": 1})
+        yield from fd.write(50 * MB)
+        yield from fd.finish()
+        return fd
+
+    fd = run(sim, work(sim))
+    assert fd.finished
+    f = host.fs.stat("/snap/ctx")
+    assert f.size == 150 * MB
+    assert f.payload == [{"hdr": 1}]
+
+
+def test_read_remote_file_from_phi():
+    sim, node, host, phis = make_env()
+
+    def work(sim):
+        yield from host.fs.write("/data/in", 64 * MB, payload=["r1", "r2"])
+        fd = yield from snapifyio_open(phis[0], node=0, path="/data/in", mode="r")
+        r1 = yield from fd.read(32 * MB)
+        r2 = yield from fd.read(32 * MB)
+        r3 = yield from fd.read(1 * MB)  # exhausted -> None
+        fd.close()
+        return r1, r2, r3
+
+    assert run(sim, work(sim)) == ("r1", "r2", None)
+
+
+def test_write_faster_than_read_for_same_size():
+    """Paper: card->host writes outrun host->card reads (async host flush)."""
+    sim, node, host, phis = make_env()
+    times = {}
+
+    def work(sim):
+        t0 = sim.now
+        fd = yield from snapifyio_open(phis[0], 0, "/f1", "w")
+        yield from fd.write(1 * GB)
+        yield from fd.finish()
+        times["write"] = sim.now - t0
+        t0 = sim.now
+        fd = yield from snapifyio_open(phis[0], 0, "/f1", "r")
+        yield from fd.read(1 * GB)
+        fd.close()
+        yield sim.timeout(0.001)
+        times["read"] = sim.now - t0
+
+    run(sim, work(sim))
+    assert times["write"] < times["read"]
+    # Order of magnitude: a second-ish for 1 GB, not milliseconds, not minutes.
+    assert 0.3 < times["write"] < 3.0
+    assert 0.3 < times["read"] < 5.0
+
+
+def test_large_write_split_into_buffer_chunks():
+    sim, node, host, phis = make_env()
+
+    def work(sim):
+        fd = yield from snapifyio_open(phis[0], 0, "/big", "w")
+        yield from fd.write(37 * MB, record="only")  # not a 4 MB multiple
+        yield from fd.finish()
+
+    run(sim, work(sim))
+    assert host.fs.stat("/big").size == 37 * MB
+    assert host.fs.stat("/big").payload == ["only"]
+
+
+def test_read_missing_remote_file_gives_eof():
+    sim, node, host, phis = make_env()
+
+    def work(sim):
+        fd = yield from snapifyio_open(phis[0], 0, "/does/not/exist", "r")
+        rec = yield from fd.read(1 * KB)
+        fd.close()
+        return rec
+
+    assert run(sim, work(sim)) is None
+
+
+def test_mode_enforcement():
+    sim, node, host, phis = make_env()
+
+    def work(sim):
+        wfd = yield from snapifyio_open(phis[0], 0, "/f", "w")
+        from repro.osim.fd import FDError
+
+        with pytest.raises(FDError):
+            yield from wfd.read(10)
+        yield from wfd.finish()
+        rfd = yield from snapifyio_open(phis[0], 0, "/f", "r")
+        with pytest.raises(FDError):
+            yield from rfd.write(10)
+        rfd.close()
+        return "ok"
+
+    assert run(sim, work(sim)) == "ok"
+
+
+def test_invalid_mode_rejected():
+    sim, node, host, phis = make_env()
+
+    def work(sim):
+        from repro.snapify_io import SnapifyIOError
+
+        with pytest.raises(SnapifyIOError):
+            yield from snapifyio_open(phis[0], 0, "/f", "rw")
+        return "ok"
+
+    assert run(sim, work(sim)) == "ok"
+
+
+def test_blcr_checkpoint_through_snapify_io():
+    """The paper's headline integration: BLCR writes a card process's
+    snapshot straight to the host FS through a Snapify-IO descriptor,
+    and restarts from it — without staging in card memory."""
+    sim, node, host, phis = make_env()
+
+    def counting_main(proc):
+        proc.store.setdefault("i", 0)
+        while proc.store["i"] < 5:
+            yield proc.sim.timeout(0.05)
+            proc.store["i"] += 1
+
+    def work(sim):
+        proc = yield from phis[0].spawn_process(
+            "native", image_size=1 * MB, main_factory=counting_main
+        )
+        proc.map_region("heap", 200 * MB, data={"key": "value"})
+        yield sim.timeout(0.12)
+        ramfs_before = phis[0].memory.by_category.get("ramfs", 0)
+        fd = yield from snapifyio_open(phis[0], 0, "/snap/native.ctx", "w", proc=proc)
+        yield from cr_checkpoint(proc, fd)
+        yield from fd.finish()
+        # No staging: card RAM-FS did not grow during the checkpoint.
+        assert phis[0].memory.by_category.get("ramfs", 0) == ramfs_before
+        proc.terminate()
+        rfd = yield from snapifyio_open(phis[0], 0, "/snap/native.ctx", "r")
+        restored = yield from cr_restart(phis[0], rfd)
+        rfd.close()
+        yield restored.main_thread.done
+        return restored
+
+    restored = run(sim, work(sim))
+    assert restored.store["i"] == 5
+    assert restored.region("heap").data == {"key": "value"}
+
+
+# ---------------------------------------------------------------------------
+# NFS baselines
+# ---------------------------------------------------------------------------
+
+
+def test_nfs_client_cache_absorbs_small_files():
+    sim, node, host, phis = make_env()
+    mount = NFSMount(phis[0], host.fs, node.params.nfs)
+
+    def work(sim):
+        t0 = sim.now
+        yield from mount.write("/small", 1 * MB)
+        return sim.now - t0
+
+    dt = run(sim, work(sim))
+    assert dt < 0.005  # absorbed at memcpy speed
+
+
+def test_nfs_sync_writes_pay_per_call_latency():
+    sim, node, host, phis = make_env()
+    mount = NFSMount(phis[0], host.fs, node.params.nfs, sync_writes=True)
+
+    def work(sim):
+        t0 = sim.now
+        for _ in range(100):
+            yield from mount.write("/ctx", 256)  # BLCR-style small records
+        return sim.now - t0
+
+    dt = run(sim, work(sim))
+    # 100 RPC round trips at >= 1.2 ms each.
+    assert dt >= 100 * node.params.nfs.op_latency
+
+
+def test_nfs_large_write_is_bandwidth_bound():
+    sim, node, host, phis = make_env()
+    mount = NFSMount(phis[0], host.fs, node.params.nfs, sync_writes=True)
+
+    def work(sim):
+        t0 = sim.now
+        yield from mount.write("/big", 1 * GB)
+        return sim.now - t0
+
+    dt = run(sim, work(sim))
+    expected = 1 * GB / node.params.nfs.write_bw
+    assert dt == pytest.approx(expected, rel=0.35)
+
+
+def test_nfs_read_costs_rpcs():
+    sim, node, host, phis = make_env()
+    mount = NFSMount(phis[0], host.fs, node.params.nfs)
+
+    def work(sim):
+        yield from host.fs.write("/data", 256 * MB, payload="blob")
+        t0 = sim.now
+        payload = yield from mount.read("/data")
+        return payload, sim.now - t0
+
+    payload, dt = run(sim, work(sim))
+    assert payload == "blob"
+    assert dt > 256 * MB / node.params.nfs.read_bw * 0.9
+
+
+def test_kernel_buffering_beats_plain_nfs_for_small_writes():
+    sim, node, host, phis = make_env()
+    params = node.params.nfs
+
+    def plain(sim):
+        mount = NFSMount(phis[0], host.fs, params, sync_writes=True)
+        t0 = sim.now
+        for _ in range(500):
+            yield from mount.write("/plain", 256)
+        return sim.now - t0
+
+    def buffered(sim):
+        mount = NFSMount(phis[0], host.fs, params, sync_writes=True)
+        fd = NFSKernelBufferedFD(mount, "/buf")
+        t0 = sim.now
+        for _ in range(500):
+            yield from fd.write(256, record=None)
+        yield from fd.flush()
+        return sim.now - t0
+
+    t_plain = run(sim, plain(sim))
+    t_buf = run(sim, buffered(sim))
+    assert t_buf < t_plain / 10
+
+
+def test_user_buffering_between_plain_and_kernel():
+    sim, node, host, phis = make_env()
+    params = node.params.nfs
+
+    def timed(fd_cls):
+        mount = NFSMount(phis[0], host.fs, params, sync_writes=True)
+        fd = fd_cls(mount, f"/{fd_cls.__name__}")
+
+        def work(sim):
+            t0 = sim.now
+            for _ in range(300):
+                yield from fd.write(4096)
+            yield from fd.flush()
+            return sim.now - t0
+
+        return run(sim, work(sim))
+
+    t_kernel = timed(NFSKernelBufferedFD)
+    t_user = timed(NFSUserBufferedFD)
+    assert t_kernel < t_user  # the user-space fix helps "to a lesser degree"
+
+
+def test_nfs_namespace_is_shared_with_host():
+    sim, node, host, phis = make_env()
+    mount = NFSMount(phis[0], host.fs, node.params.nfs)
+
+    def work(sim):
+        yield from mount.write("/shared/file", 10 * MB, payload="from-card")
+
+    run(sim, work(sim))
+    assert host.fs.stat("/shared/file").payload == "from-card"
+    mount.unlink("/shared/file")
+    assert not host.fs.exists("/shared/file")
+
+
+# ---------------------------------------------------------------------------
+# scp
+# ---------------------------------------------------------------------------
+
+
+def test_scp_copy_and_timing():
+    sim, node, host, phis = make_env()
+
+    def work(sim):
+        yield from phis[0].fs.write("/tmp/src", 1 * GB, payload="bits")
+        t0 = sim.now
+        yield from scp_copy(phis[0], host, "/tmp/src", "/dst", node.params.scp)
+        return sim.now - t0
+
+    dt = run(sim, work(sim))
+    assert host.fs.stat("/dst").payload == "bits"
+    # Encryption-bound: ~21 s for 1 GB at 48 MB/s.
+    assert dt == pytest.approx(1 * GB / node.params.scp.bandwidth, rel=0.2)
+
+
+def test_scp_vs_snapify_io_gap_at_1gb():
+    """Table 3's headline: ~20-30x gap between scp and Snapify-IO at 1 GB."""
+    sim, node, host, phis = make_env()
+    times = {}
+
+    def work(sim):
+        yield from phis[0].fs.write("/tmp/f", 1 * GB)
+        t0 = sim.now
+        yield from scp_copy(phis[0], host, "/tmp/f", "/via-scp", node.params.scp)
+        times["scp"] = sim.now - t0
+        t0 = sim.now
+        fd = yield from snapifyio_open(phis[0], 0, "/via-sio", "w")
+        yield from fd.write(1 * GB)
+        yield from fd.finish()
+        times["sio"] = sim.now - t0
+
+    run(sim, work(sim))
+    ratio = times["scp"] / times["sio"]
+    assert 15 < ratio < 45
