@@ -15,7 +15,6 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import replace
 
-import pytest
 
 from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
 from repro.blcr import cr_checkpoint, cr_restart

@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..blcr import cr_checkpoint, cr_restart
 from ..osim.fd import RegularFileFD
-from ..osim.process import OSInstance, SimProcess
+from ..osim.process import SimProcess
 from ..snapify_io.library import snapifyio_open
 from ..snapify_io.nfs import NFSKernelBufferedFD, NFSMount, NFSUserBufferedFD
 from ..snapify_io.scp import scp_copy

@@ -18,7 +18,7 @@ interleavings: ``checksum == expected_checksum(iterations)``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from ..coi.engine import COIEngine
 from ..coi.pipeline import CardContext, OffloadBinary, OffloadFunction

@@ -7,7 +7,7 @@ examples and external drivers can run paper benchmarks by name.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING, Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from .offload import OffloadApplication
 from .workloads import OPENMP_BENCHMARKS, BenchmarkProfile

@@ -9,7 +9,6 @@ daemon pipe, and the process checkpoints itself.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
 
 from ..osim.fd import FileDescriptor
 from ..osim.process import SimProcess
@@ -29,9 +28,6 @@ def page_walk_cost(os_instance) -> float:
     if node is None:
         return 0.0  # host
     return node.params.phi.blcr_page_cost / 4096.0
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..sim.kernel import Simulator
 
 
 class BLCRError(SimError):

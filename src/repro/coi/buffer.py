@@ -14,7 +14,6 @@ the paper leans on, both preserved here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass

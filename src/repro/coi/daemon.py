@@ -10,11 +10,10 @@ requests to handlers registered in :attr:`COIDaemon.extensions`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from ..hw.node import PhiDevice
-from ..osim.pipes import DuplexPipe
 from ..osim.process import OSInstance, SimProcess
 from ..scif.endpoint import ConnectionReset, ScifEndpoint, ScifNetwork
 from ..scif.ports import COI_DAEMON_PORT

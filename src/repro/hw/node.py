@@ -6,7 +6,7 @@ coprocessors are SCIF nodes 1..N.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, List
 
 from .memory import PhysicalMemory
 from .params import HardwareParams

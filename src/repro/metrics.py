@@ -8,7 +8,7 @@ section in readable form. EXPERIMENTS.md is written from the same tables.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 from .hw.params import GB, KB, MB
 

@@ -19,7 +19,6 @@ from ..snapify.usecases import checkpoint_offload_app, restart_offload_app
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..apps.nas_mz import MZJob
-    from ..testbed import XeonPhiCluster
 
 
 def rank_snapshot_path(prefix: str, rank: int) -> str:

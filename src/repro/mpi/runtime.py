@@ -8,7 +8,7 @@ checkpoint protocol of :mod:`repro.mpi.cr` relies on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Tuple
 
 from ..sim.errors import SimError
 from ..sim.events import Event

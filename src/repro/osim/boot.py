@@ -2,14 +2,11 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+from typing import List, Tuple
 
 from ..hw.node import PhiDevice, ServerNode
 from .fs import HostFileSystem, RamFileSystem
 from .process import OSInstance
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..sim.kernel import Simulator
 
 
 def boot_host(node: ServerNode) -> OSInstance:

@@ -17,7 +17,7 @@ BLCR's self-delimiting context format without byte-level bookkeeping.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, List, Optional
+from typing import TYPE_CHECKING, Any, List
 
 from ..sim.errors import SimError
 from .fs import FileSystem

@@ -9,7 +9,7 @@ card via the snapify CLI path.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..coi.engine import COIEngine
 from ..hw.node import PhiDevice

@@ -14,8 +14,8 @@ lives here).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
 
 from ..coi.engine import COIEngine
 from ..osim.process import SimProcess

@@ -10,7 +10,7 @@ restored yields a *different* offset. That detail forces Snapify's
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING
 
 from ..hw.node import ServerNode
 from .endpoint import ScifEndpoint, ScifError

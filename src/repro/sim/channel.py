@@ -8,6 +8,24 @@ with the oldest message.
 The drain step of Snapify's pause protocol is checkable because channels
 expose their occupancy: a *consistent* global snapshot requires every
 channel between the participating processes to be empty.
+
+Hot-path notes
+--------------
+A send/recv pair is the innermost operation of every offload call, so the
+common cases are fast paths that allocate nothing beyond the result event:
+
+* The event names ``send:<chan>``/``recv:<chan>`` are interpolated once per
+  channel, not once per operation.
+* An unbounded ``send`` with no blocked receiver appends and triggers the
+  result event inline — no waiter tuple, no callback list (the event's
+  callback list is lazily allocated and stays ``None``).
+* A ``recv`` on a non-empty channel pops and triggers inline; the blocked-
+  sender scan only runs when a sender is actually parked.
+* Direct handoff (send meeting a parked receiver) triggers the receiver's
+  event without intermediate objects.
+
+The wakeup *order* of the straightforward implementation is preserved
+exactly — trace orderings are part of the kernel's determinism contract.
 """
 
 from __future__ import annotations
@@ -16,7 +34,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Optional
 
 from .errors import SimError
-from .events import Event
+from .events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
@@ -32,6 +50,21 @@ class Channel:
     ``capacity=None`` means unbounded (sends always complete immediately).
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "capacity",
+        "_items",
+        "_recv_waiters",
+        "_send_waiters",
+        "closed",
+        "_close_error",
+        "sent_count",
+        "received_count",
+        "_send_name",
+        "_recv_name",
+    )
+
     def __init__(self, sim: "Simulator", name: str = "chan", capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 or None")
@@ -45,6 +78,8 @@ class Channel:
         self._close_error: Optional[SimError] = None
         self.sent_count = 0
         self.received_count = 0
+        self._send_name = f"send:{name}"
+        self._recv_name = f"recv:{name}"
 
     # -- introspection (used by drain-invariant checks) ---------------------
     @property
@@ -63,7 +98,7 @@ class Channel:
     # -- operations ----------------------------------------------------------
     def send(self, item: Any) -> Event:
         """Enqueue ``item``; the returned event succeeds once it is accepted."""
-        ev = Event(self.sim, name=f"send:{self.name}")
+        ev = Event(self.sim, name=self._send_name)
         if self.closed:
             ev.fail(self._close_error or ChannelClosed(self.name))
             return ev
@@ -71,10 +106,11 @@ class Channel:
         # Direct handoff to the oldest blocked receiver keeps FIFO intact.
         # Skip receivers whose thread was interrupted/killed while waiting,
         # or the message would vanish into the void.
-        while self._recv_waiters:
-            recv_ev = self._recv_waiters.popleft()
-            if recv_ev.triggered or recv_ev.abandoned:
-                continue
+        recv_waiters = self._recv_waiters
+        while recv_waiters:
+            recv_ev = recv_waiters.popleft()
+            if recv_ev._state is not PENDING or not recv_ev._callbacks:
+                continue  # triggered elsewhere, or abandoned
             self.received_count += 1
             recv_ev.succeed(item)
             ev.succeed(None)
@@ -88,11 +124,12 @@ class Channel:
 
     def recv(self) -> Event:
         """The returned event succeeds with the oldest message."""
-        ev = Event(self.sim, name=f"recv:{self.name}")
+        ev = Event(self.sim, name=self._recv_name)
         if self._items:
             self.received_count += 1
             ev.succeed(self._items.popleft())
-            self._admit_blocked_sender()
+            if self._send_waiters:
+                self._admit_blocked_sender()
         elif self.closed:
             ev.fail(self._close_error or ChannelClosed(self.name))
         else:
@@ -104,15 +141,16 @@ class Channel:
         if self._items:
             self.received_count += 1
             item = self._items.popleft()
-            self._admit_blocked_sender()
+            if self._send_waiters:
+                self._admit_blocked_sender()
             return True, item
         return False, None
 
     def _admit_blocked_sender(self) -> None:
         while self._send_waiters:
             ev, item = self._send_waiters.popleft()
-            if ev.triggered or ev.abandoned:
-                continue
+            if ev._state is not PENDING or not ev._callbacks:
+                continue  # triggered elsewhere, or abandoned
             self._items.append(item)
             ev.succeed(None)
             return

@@ -8,6 +8,25 @@ failure (the stored exception is re-raised at the ``yield`` site).
 All higher-level primitives (timeouts, locks, channels, pipes, RDMA
 completions, process exits) bottom out in events, which keeps the kernel's
 scheduling rules in one place and makes the whole stack deterministic.
+
+Hot-path notes
+--------------
+Events are the single most-allocated object in a simulation, so this module
+is tuned accordingly:
+
+* ``_callbacks`` is lazily allocated (``None`` until the first waiter), so
+  an event that triggers before anyone waits — the common case for channel
+  sends — never allocates a list.
+* Simulated threads register themselves *directly* in the callback list
+  (they subclass the :class:`_ThreadWaiter` marker) instead of allocating a
+  resume closure per wait; :meth:`Event._fire` hands them straight back to
+  the scheduler.
+* State comparisons use ``is`` against the interned module-level constants.
+
+Ordering is load-bearing: waiters and callbacks live in one list and fire
+in registration order, so optimizations here must never reorder wakeups —
+trace orderings are part of the kernel's contract (seed + workload → same
+interleaving).
 """
 
 from __future__ import annotations
@@ -20,6 +39,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 PENDING = "pending"
 SUCCEEDED = "succeeded"
 FAILED = "failed"
+
+
+class _ThreadWaiter:
+    """Marker base for objects that wait on events without a closure.
+
+    :class:`~repro.sim.kernel.Thread` subclasses this; :meth:`Event._fire`
+    resumes such waiters through the scheduler directly instead of calling
+    them. The marker lives here (not in ``kernel``) to avoid an import cycle.
+    """
+
+    __slots__ = ()
 
 
 class Event:
@@ -38,22 +68,23 @@ class Event:
         self._state = PENDING
         self._value: Any = None
         self._exc: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        # Lazily allocated: None means "no waiter has ever registered".
+        self._callbacks: Optional[List[Any]] = None
 
     # -- state inspection -------------------------------------------------
     @property
     def triggered(self) -> bool:
-        return self._state != PENDING
+        return self._state is not PENDING
 
     @property
     def ok(self) -> bool:
-        return self._state == SUCCEEDED
+        return self._state is SUCCEEDED
 
     @property
     def value(self) -> Any:
-        if self._state == PENDING:
+        if self._state is PENDING:
             raise RuntimeError(f"event {self.name!r} has not triggered yet")
-        if self._state == FAILED:
+        if self._state is FAILED:
             raise self._exc  # type: ignore[misc]
         return self._value
 
@@ -64,42 +95,61 @@ class Event:
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, waking all waiters."""
-        if self._state != PENDING:
+        if self._state is not PENDING:
             raise RuntimeError(f"event {self.name!r} already triggered")
         self._state = SUCCEEDED
         self._value = value
-        self._fire()
+        if self._callbacks is not None:
+            self._fire()
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception, waking all waiters."""
-        if self._state != PENDING:
+        if self._state is not PENDING:
             raise RuntimeError(f"event {self.name!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._state = FAILED
         self._exc = exc
-        self._fire()
+        if self._callbacks is not None:
+            self._fire()
         return self
 
     def _fire(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
+        callbacks, self._callbacks = self._callbacks, None
+        if not callbacks:
+            return
+        if self._state is SUCCEEDED:
+            value, exc = self._value, None
+        else:
+            value, exc = None, self._exc
+        sim = self.sim
         for cb in callbacks:
-            cb(self)
+            if isinstance(cb, _ThreadWaiter):
+                # Slot-based resume: the thread parked itself here; skip it
+                # if it was interrupted/killed and re-targeted meanwhile.
+                if cb._waiting_on is self:
+                    cb._waiting_on = None
+                    sim._ready(cb, value, exc)
+            else:
+                cb(self)
 
     # -- waiter registration (kernel API) ----------------------------------
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register ``cb``; invoked immediately if already triggered."""
-        if self.triggered:
+        if self._state is not PENDING:
             cb(self)
+        elif self._callbacks is None:
+            self._callbacks = [cb]
         else:
             self._callbacks.append(cb)
 
     def remove_callback(self, cb: Callable[["Event"], None]) -> None:
-        try:
-            self._callbacks.remove(cb)
-        except ValueError:
-            pass
+        if self._callbacks is not None:
+            try:
+                self._callbacks.remove(cb)
+            except ValueError:
+                pass
 
     @property
     def abandoned(self) -> bool:
@@ -108,23 +158,32 @@ class Event:
         Handoff primitives (mutexes, semaphores, channels) must skip
         abandoned waiters or ownership/messages leak into the void.
         """
-        return self._state == PENDING and not self._callbacks
+        return self._state is PENDING and not self._callbacks
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Event {self.name!r} {self._state}>"
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed simulated delay."""
+    """An event that triggers after a fixed simulated delay.
+
+    The name is the static string ``"timeout"`` rather than an interpolated
+    ``timeout(1.5)`` — timer storms allocate millions of these and the
+    f-string was measurable on the hot path. ``repr()`` still shows the
+    delay for debugging.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        super().__init__(sim, name="timeout")
         self.delay = delay
         sim.schedule(delay, self.succeed, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Timeout {self.delay:g} {self._state}>"
 
 
 class AnyOf(Event):

@@ -2,27 +2,51 @@
 
 The kernel runs *simulated threads* — Python generators that ``yield``
 :class:`~repro.sim.events.Event` objects to block. Scheduling is strictly
-deterministic: ties in simulated time are broken by a global sequence
+deterministic: ties in simulated time are broken by a per-simulator sequence
 counter, so a given seed and workload always produce the same interleaving.
 
 Threads compose with ``yield from``, which is how the higher layers (OS,
 SCIF, COI, Snapify) build blocking "system calls" out of one another.
+
+Hot-path notes
+--------------
+Every simulated action in the whole stack funnels through ``Thread._step``
+and the run loops below, so this module trades a little beauty for speed:
+
+* ``Thread`` uses ``__slots__`` and parks itself directly in an event's
+  callback list (see :class:`~repro.sim.events._ThreadWaiter`) — no resume
+  closure is allocated per wait.
+* Yielding an already-triggered event skips waiter registration entirely
+  and re-schedules the thread straight onto the heap.
+* ``_ready``/``spawn`` push heap entries inline instead of going through
+  :meth:`Simulator.schedule`, and the run loops bind ``heappop`` locally.
+* The bound ``_step`` method is created once per thread (``_bstep``), not
+  once per resume.
+
+None of this may change wakeup ordering: heap entries remain
+``(time, seq, fn, args)`` with ``seq`` drawn in the same places as the
+straightforward implementation, so trace orderings are byte-identical.
+
+Thread IDs are drawn from a **per-simulator** counter (``Simulator._tids``),
+so the interleaving — and any trace output derived from thread names — of a
+given workload does not depend on how many simulators ran earlier in the
+process.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from .errors import DeadlockError, Interrupted, SimTimeLimit, ThreadKilled
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import PENDING, SUCCEEDED, AllOf, AnyOf, Event, Timeout, _ThreadWaiter
 from .trace import Tracer
 
 SimGen = Generator[Event, Any, Any]
 
 
-class Thread:
+class Thread(_ThreadWaiter):
     """A simulated thread of execution.
 
     Wraps a generator. The thread's completion is itself observable through
@@ -30,22 +54,22 @@ class Thread:
     fails with its uncaught exception — making ``join`` a plain event wait.
     """
 
-    _ids = itertools.count(1)
+    __slots__ = ("sim", "gen", "tid", "name", "done", "daemon", "_waiting_on", "_bstep")
 
     def __init__(self, sim: "Simulator", gen: SimGen, name: str = ""):
         self.sim = sim
         self.gen = gen
-        self.tid = next(Thread._ids)
+        self.tid = next(sim._tids)
         self.name = name or f"thread-{self.tid}"
         self.done = Event(sim, name=f"done:{self.name}")
         self._waiting_on: Optional[Event] = None
-        self._resume_cb: Optional[Callable[[Event], None]] = None
         self.daemon = False  # daemon threads don't count for quiescence
+        self._bstep = self._step  # bind once; scheduled on every resume
 
     # -- state -------------------------------------------------------------
     @property
     def alive(self) -> bool:
-        return not self.done.triggered
+        return self.done._state is PENDING
 
     @property
     def blocked_on(self) -> Optional[Event]:
@@ -53,11 +77,10 @@ class Thread:
 
     # -- kernel stepping ----------------------------------------------------
     def _step(self, send_value: Any = None, throw_exc: Optional[BaseException] = None) -> None:
-        if self.done.triggered:
+        if self.done._state is not PENDING:
             # Killed/finished while a resumption was already scheduled.
             return
         self._waiting_on = None
-        self._resume_cb = None
         try:
             if throw_exc is not None:
                 target = self.gen.throw(throw_exc)
@@ -73,35 +96,32 @@ class Thread:
             if self.sim.strict:
                 raise
             return
-        if not isinstance(target, Event):
-            exc2 = TypeError(
-                f"thread {self.name!r} yielded {target!r}; threads must yield Event objects"
-            )
-            self.sim._dead_threads.append((self, exc2))
-            self.done.fail(exc2)
-            if self.sim.strict:
-                raise exc2
-            return
-        self._wait_on(target)
-
-    def _wait_on(self, event: Event) -> None:
-        self._waiting_on = event
-
-        def resume(ev: Event) -> None:
-            # A stale callback (thread was interrupted/killed meanwhile).
-            if self._resume_cb is not resume:
-                return
-            # Clear wait state now so a signal landing between the event
-            # trigger and the actual step cannot double-resume the thread.
-            self._waiting_on = None
-            self._resume_cb = None
-            if ev.ok:
-                self.sim._ready(self, ev._value, None)
+        if isinstance(target, Event):
+            state = target._state
+            if state is PENDING:
+                # Park directly in the event's waiter list: no closure.
+                self._waiting_on = target
+                callbacks = target._callbacks
+                if callbacks is None:
+                    target._callbacks = [self]
+                else:
+                    callbacks.append(self)
             else:
-                self.sim._ready(self, None, ev.exception)
-
-        self._resume_cb = resume
-        event.add_callback(resume)
+                # Already-triggered fast path: straight back onto the heap.
+                sim = self.sim
+                if state is SUCCEEDED:
+                    args = (target._value, None)
+                else:
+                    args = (None, target._exc)
+                heappush(sim._heap, (sim.now, next(sim._seq), self._bstep, args))
+            return
+        exc2 = TypeError(
+            f"thread {self.name!r} yielded {target!r}; threads must yield Event objects"
+        )
+        self.sim._dead_threads.append((self, exc2))
+        self.done.fail(exc2)
+        if self.sim.strict:
+            raise exc2
 
     # -- control ------------------------------------------------------------
     def interrupt(self, cause: object = None) -> None:
@@ -111,14 +131,13 @@ class Thread:
         Interrupting a thread that is not blocked (running or finished) is a
         no-op, matching the fire-and-forget nature of signal delivery.
         """
-        if not self.alive or self._waiting_on is None:
+        if self.done._state is not PENDING:
             return
         ev = self._waiting_on
-        cb = self._resume_cb
-        if cb is not None:
-            ev.remove_callback(cb)
+        if ev is None:
+            return
         self._waiting_on = None
-        self._resume_cb = None
+        ev.remove_callback(self)
         self.sim._ready(self, None, Interrupted(cause))
 
     def kill(self) -> None:
@@ -127,17 +146,17 @@ class Thread:
         Cleanup clauses (``finally``) in the generator run via ``close()``;
         the done event fails with :class:`ThreadKilled`.
         """
-        if not self.alive:
+        if self.done._state is not PENDING:
             return
-        if self._waiting_on is not None and self._resume_cb is not None:
-            self._waiting_on.remove_callback(self._resume_cb)
-        self._waiting_on = None
-        self._resume_cb = None
+        ev = self._waiting_on
+        if ev is not None:
+            ev.remove_callback(self)
+            self._waiting_on = None
         try:
             self.gen.close()
         except BaseException:  # pragma: no cover - generator misbehaviour
             pass
-        if not self.done.triggered:
+        if self.done._state is PENDING:
             self.done.fail(ThreadKilled(self.name))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -165,6 +184,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List = []
         self._seq = itertools.count()
+        self._tids = itertools.count(1)
         self.strict = strict
         self.trace = Tracer(self, enabled=trace)
         self.threads: List[Thread] = []
@@ -175,10 +195,10 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+        heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
 
     def _ready(self, thread: Thread, value: Any, exc: Optional[BaseException]) -> None:
-        self.schedule(0.0, thread._step, value, exc)
+        heappush(self._heap, (self.now, next(self._seq), thread._bstep, (value, exc)))
 
     # -- thread / event factories ---------------------------------------------
     def spawn(self, gen: SimGen, name: str = "", daemon: bool = False) -> Thread:
@@ -188,7 +208,7 @@ class Simulator:
         t = Thread(self, gen, name=name)
         t.daemon = daemon
         self.threads.append(t)
-        self.schedule(0.0, t._step, None, None)
+        heappush(self._heap, (self.now, next(self._seq), t._bstep, (None, None)))
         return t
 
     def event(self, name: str = "") -> Event:
@@ -212,17 +232,30 @@ class Simulator:
         threads are still blocked — the classic symptom of a protocol bug
         such as an un-released lock or an un-drained channel.
         """
-        while self._heap:
-            t, _, fn, args = self._heap[0]
-            if until is not None and t > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = t
-            fn(*args)
+        heap = self._heap
+        pop = heappop
+        if until is None:
+            while heap:
+                t, _, fn, args = pop(heap)
+                self.now = t
+                fn(*args)
+        else:
+            while heap:
+                t = heap[0][0]
+                if t > until:
+                    self.now = until
+                    return until
+                # Batch-dispatch every entry at this timestamp: the horizon
+                # check above need not be repeated for same-time entries.
+                self.now = t
+                while heap and heap[0][0] == t:
+                    entry = pop(heap)
+                    entry[2](*entry[3])
         if check_deadlock:
             stuck = [
-                th for th in self.threads if th.alive and not th.daemon and th.blocked_on is not None
+                th
+                for th in self.threads
+                if th.alive and not th.daemon and th.blocked_on is not None
             ]
             if stuck:
                 names = ", ".join(
@@ -233,10 +266,12 @@ class Simulator:
 
     def run_until(self, event: Event, *, limit: float = 1e12) -> Any:
         """Run until ``event`` triggers; return its value (or raise its error)."""
-        while not event.triggered:
-            if not self._heap:
+        heap = self._heap
+        pop = heappop
+        while event._state is PENDING:
+            if not heap:
                 raise DeadlockError(f"event {event.name!r} can never trigger (heap empty)")
-            t, _, fn, args = heapq.heappop(self._heap)
+            t, _, fn, args = pop(heap)
             if t > limit:
                 raise SimTimeLimit(f"exceeded t={limit:g} waiting for {event.name!r}")
             self.now = t

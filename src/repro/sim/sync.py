@@ -19,14 +19,19 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Optional
 
-from .events import Event
+from .events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
 
 
 class Mutex:
-    """A non-reentrant FIFO mutual-exclusion lock."""
+    """A non-reentrant FIFO mutual-exclusion lock.
+
+    Acquire/release sit on the offload hot path (Snapify's drain locks), so
+    the event name is interpolated once per mutex and the cancelled-waiter
+    scan reads event state directly instead of going through properties.
+    """
 
     def __init__(self, sim: "Simulator", name: str = "mutex"):
         self.sim = sim
@@ -34,10 +39,11 @@ class Mutex:
         self.locked = False
         self.owner: Optional[object] = None
         self._waiters: Deque[tuple[Event, Optional[object]]] = deque()
+        self._acquire_name = f"acquire:{name}"
 
     def acquire(self, owner: Optional[object] = None) -> Event:
         """Return an event that succeeds once the caller holds the lock."""
-        ev = Event(self.sim, name=f"acquire:{self.name}")
+        ev = Event(self.sim, name=self._acquire_name)
         if not self.locked:
             self.locked = True
             self.owner = owner
@@ -61,7 +67,7 @@ class Mutex:
         # interrupted/killed thread.
         while self._waiters:
             ev, owner = self._waiters.popleft()
-            if ev.triggered or ev.abandoned:
+            if ev._state is not PENDING or not ev._callbacks:
                 continue
             self.owner = owner
             ev.succeed(self)
@@ -84,10 +90,11 @@ class Semaphore:
         self.name = name
         self.value = value
         self._waiters: Deque[Event] = deque()
+        self._wait_name = f"sem.wait:{name}"
 
     def wait(self) -> Event:
         """P(): event succeeds once a unit has been consumed."""
-        ev = Event(self.sim, name=f"sem.wait:{self.name}")
+        ev = Event(self.sim, name=self._wait_name)
         if self.value > 0:
             self.value -= 1
             ev.succeed(self)
@@ -101,7 +108,7 @@ class Semaphore:
             woke = False
             while self._waiters:
                 ev = self._waiters.popleft()
-                if ev.triggered or ev.abandoned:
+                if ev._state is not PENDING or not ev._callbacks:
                     continue
                 ev.succeed(self)
                 woke = True

@@ -2,8 +2,13 @@
 
 Protocol tests assert on trace event ordering (e.g. "no RDMA transfer occurs
 between pause-complete and resume"), so the tracer keeps structured records
-rather than formatted strings. Tracing is off by default and costs one
-attribute check per emit when disabled.
+rather than formatted strings.
+
+Tracing is off by default and must cost nothing on the hot path: instead of
+branching on an ``enabled`` flag inside :meth:`Tracer.emit`, the tracer
+swaps ``emit`` itself (an instance attribute shadowing the class) between a
+module-level no-op and the real recording method whenever ``enabled`` is
+assigned. Disabled emits are a single no-op call with no record allocation.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     time: float
     category: str
@@ -26,18 +31,33 @@ class TraceRecord:
         return f"[{self.time:12.6f}] {self.category}: {kv}"
 
 
+def _noop_emit(category: str, **fields: Any) -> None:
+    """Disabled-tracer emit: swallow the call as cheaply as possible."""
+
+
 class Tracer:
     """Collects :class:`TraceRecord` entries when enabled."""
 
     def __init__(self, sim: "Simulator", enabled: bool = False):
         self._sim = sim
-        self.enabled = enabled
         self.records: List[TraceRecord] = []
         self.sinks: List[Callable[[TraceRecord], None]] = []
+        self._enabled = False
+        self.emit: Callable[..., None] = _noop_emit
+        self.enabled = enabled  # property setter installs the right emit
 
-    def emit(self, category: str, **fields: Any) -> None:
-        if not self.enabled:
-            return
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, on: bool) -> None:
+        on = bool(on)
+        self._enabled = on
+        # Hoist the check out of the hot path: swap the bound method.
+        self.emit = self._emit if on else _noop_emit
+
+    def _emit(self, category: str, **fields: Any) -> None:
         rec = TraceRecord(self._sim.now, category, fields)
         self.records.append(rec)
         for sink in self.sinks:

@@ -15,16 +15,12 @@ services pause / capture / resume requests arriving over the pipe:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
 
 from ..blcr import cr_request_checkpoint
 from ..coi.process import CardRuntime
 from ..osim.process import SimProcess
 from ..snapify_io.library import snapifyio_open
 from . import constants as c
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..osim.pipes import DuplexPipe
 
 
 def install_signal_handler(proc: SimProcess) -> None:

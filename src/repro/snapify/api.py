@@ -22,7 +22,7 @@ Each function records its wall-clock cost in ``snap.timings`` and sizes in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Dict, Optional
 
 from ..coi.engine import COIEngine
 from ..coi.process import COIProcess

@@ -10,8 +10,8 @@ back to the requesting host processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict
 
 from ..blcr import cr_restart
 from ..coi.daemon import COIDaemon, DaemonEntry

@@ -7,7 +7,7 @@ process (the ``snapify`` CLI and the BLCR callback both end up here).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Optional
 
 from ..blcr import cr_checkpoint, cr_restart
 from ..coi.engine import COIEngine

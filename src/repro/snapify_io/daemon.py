@@ -19,9 +19,9 @@ read mode the flow reverses.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import Any, List, Optional
 
-from ..hw.node import PhiDevice, ServerNode
+from ..hw.node import ServerNode
 from ..hw.params import SnapifyIOParams
 from ..osim.process import OSInstance, SimProcess
 from ..osim.sockets import UnixSocket
@@ -30,9 +30,6 @@ from ..scif.ports import SNAPIFY_IO_PORT
 from ..scif.registry import scif_register
 from ..scif.rdma import scif_vreadfrom, scif_vwriteto
 from ..sim.errors import Interrupted, SimError
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..sim.kernel import Simulator
 
 
 class SnapifyIOError(SimError):

@@ -17,15 +17,12 @@ which pays an extra copy per byte and a pipe hop per record).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, List, Optional
+from typing import Any, List, Optional
 
 from ..hw.params import NFSParams
 from ..osim.fd import FDError, FileDescriptor
 from ..osim.fs import FileSystem, HostFileSystem
 from ..osim.process import OSInstance
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..sim.kernel import Simulator
 
 
 class NFSMount(FileSystem):

@@ -1,6 +1,5 @@
 """End-to-end tests of the offload application framework with Snapify."""
 
-import pytest
 
 from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
 from repro.snapify import (

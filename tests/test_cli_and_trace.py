@@ -4,8 +4,8 @@ from dataclasses import replace
 
 import pytest
 
-from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
-from repro.sim import Simulator, Tracer
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
+from repro.sim import Simulator
 from repro.snapify import (
     MIGRATE,
     SWAP_IN,

@@ -9,7 +9,7 @@ from repro.coi import (
     OffloadBinary,
     OffloadFunction,
 )
-from repro.hw import GB, MB, HardwareParams, ServerNode
+from repro.hw import MB, HardwareParams, ServerNode
 from repro.osim import boot_node
 from repro.sim import Simulator
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps import NAS_MZ_BENCHMARKS, expected_checksum, mz_rank_footprint
+from repro.apps import NAS_MZ_BENCHMARKS, mz_rank_footprint
 from repro.apps.nas_mz import MZJob
 from repro.mpi import MPIComm, MPIError, mpi_checkpoint, mpi_restart
 from repro.testbed import XeonPhiCluster

@@ -4,9 +4,7 @@ on several cards, independent snapshots, and cross-application isolation.
 
 from dataclasses import replace
 
-import pytest
-
-from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
 from repro.coi import COIEngine, OffloadBinary, OffloadFunction
 from repro.hw import MB
 from repro.snapify import (

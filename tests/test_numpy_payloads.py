@@ -6,7 +6,6 @@ checkpoint/restart, migration, and double restores.
 """
 
 import numpy as np
-import pytest
 
 from repro.coi import COIEngine, OffloadBinary, OffloadFunction
 from repro.hw import MB

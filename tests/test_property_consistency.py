@@ -5,7 +5,6 @@ restart/swap-in/migration yields exactly the result of a failure-free run.
 
 from dataclasses import replace
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

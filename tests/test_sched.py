@@ -4,7 +4,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
 from repro.hw import GB, MB
 from repro.sched import FaultInjector, ProactiveMigrator, SwapScheduler
 from repro.testbed import XeonPhiServer

@@ -8,7 +8,6 @@ from repro.scif import (
     ConnectionReset,
     ScifError,
     ScifNetwork,
-    scif_readfrom,
     scif_register,
     scif_unregister,
     scif_vreadfrom,

@@ -3,11 +3,9 @@
 import pytest
 
 from repro.sim import (
-    AllOf,
     AnyOf,
     Channel,
     DeadlockError,
-    Event,
     Interrupted,
     Mutex,
     Simulator,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim import (
     DeadlockError,
-    Event,
     Interrupted,
     SimTimeLimit,
     Simulator,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.blcr import cr_checkpoint, cr_restart
 from repro.hw import GB, KB, MB, HardwareParams, ServerNode
-from repro.osim import RegularFileFD, boot_node
+from repro.osim import boot_node
 from repro.scif import ScifNetwork
 from repro.sim import Simulator
 from repro.snapify_io import (

@@ -1,6 +1,5 @@
 """Edge cases of the Snapify-IO daemons: concurrency, aborts, phi-to-phi."""
 
-import pytest
 
 from repro.hw import GB, MB
 from repro.snapify_io import SnapifyIODaemon, snapifyio_open

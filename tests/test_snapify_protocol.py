@@ -3,8 +3,7 @@
 import pytest
 
 from repro.coi import COIDaemon, OffloadBinary, OffloadFunction
-from repro.hw import GB, MB
-from repro.osim import RegularFileFD
+from repro.hw import MB
 from repro.snapify import (
     snapify_capture,
     snapify_pause,

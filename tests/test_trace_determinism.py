@@ -1,0 +1,82 @@
+"""Golden-trace determinism test for a full snapshot (migrate) cycle.
+
+The kernel optimizations are only admissible if they do not perturb event
+ordering: seed + workload must produce the *same* interleaving. This test
+replays a full Fig-10-style migrate cycle (launch → pause → capture →
+restore on the second card → resume → run to completion) and compares a
+digest of the run against ``tests/golden/snapshot_cycle_trace.json``, which
+was captured with the pre-optimization kernel:
+
+* every trace record (time, category, fields), repr-exact,
+* the final simulated time, repr-exact,
+* the total number of heap entries drawn from the tie-break counter — any
+  change in what gets scheduled (or how often) shifts this,
+* the full thread table (tid, name, completion).
+
+Regenerate after an *intentional* behavior change with::
+
+    PYTHONPATH=src python tests/test_trace_determinism.py --regen
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "snapshot_cycle_trace.json"
+
+
+def snapshot_cycle_digest():
+    """Run the migrate cycle and return a canonical, JSON-stable digest."""
+    from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
+    from repro.sim import Simulator
+    from repro.snapify import MIGRATE, snapify_command
+    from repro.testbed import XeonPhiServer
+
+    sim = Simulator(trace=True)
+    server = XeonPhiServer(sim=sim)
+    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=30)
+    app = OffloadApplication(server, profile)
+
+    def driver(s):
+        yield from app.launch()
+        yield s.timeout(0.3)
+        done = snapify_command(app.host_proc, MIGRATE, engine=server.engine(1))
+        yield done
+        yield app.host_proc.main_thread.done
+
+    server.run(driver(sim))
+    assert app.verify(), "migrate cycle corrupted the application state"
+    return {
+        "records": [
+            [repr(rec.time), rec.category, sorted((k, repr(v)) for k, v in rec.fields.items())]
+            for rec in sim.trace.records
+        ],
+        "final_time": repr(sim.now),
+        "scheduled_events": next(sim._seq),
+        "threads": [[t.tid, t.name, t.done.triggered] for t in sim.threads],
+    }
+
+
+def _canonical(digest):
+    return json.loads(json.dumps(digest))
+
+
+def test_snapshot_cycle_trace_matches_golden():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert _canonical(snapshot_cycle_digest()) == golden
+
+
+def test_snapshot_cycle_digest_is_stable_across_runs():
+    assert snapshot_cycle_digest() == snapshot_cycle_digest()
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    if "--regen" in sys.argv:
+        digest = snapshot_cycle_digest()
+        GOLDEN_PATH.write_text(json.dumps(digest, indent=1) + "\n")
+        print(f"regenerated {GOLDEN_PATH} ({digest['scheduled_events']} scheduled events)")
+    else:
+        print(__doc__)
