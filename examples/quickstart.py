@@ -7,19 +7,28 @@ mid-run, kills *both* processes, and restarts the whole application from
 the snapshot directory — finishing with the same checksum a failure-free
 run produces.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace-json PATH]
+
+With ``--trace-json PATH`` the run executes with tracing enabled and the
+full record stream (spans, metrics, protocol markers) is exported as Chrome
+trace-event JSON — CI uploads this as its workflow artifact.
 """
 
+import sys
 from dataclasses import replace
 
 from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
 from repro.metrics import fmt_bytes, fmt_time
+from repro.sim import Simulator
 from repro.snapify import checkpoint_offload_app, restart_offload_app, snapify_t
 from repro.testbed import XeonPhiServer
 
 
 def main() -> None:
-    server = XeonPhiServer()
+    trace_json = None
+    if "--trace-json" in sys.argv:
+        trace_json = sys.argv[sys.argv.index("--trace-json") + 1]
+    server = XeonPhiServer(sim=Simulator(trace=trace_json is not None))
     print(f"booted {server.node.name}: host + {len(server.node.phis)} Xeon Phi cards")
 
     # A conjugate-gradient style offload benchmark, shortened for the demo.
@@ -63,6 +72,13 @@ def main() -> None:
         print("checksum matches the failure-free run — snapshot was consistent ✓")
 
     server.run(scenario(server.sim))
+
+    if trace_json is not None:
+        from repro.obs import validate_trace_events, write_chrome_trace
+
+        doc = write_chrome_trace(server.sim.trace, trace_json)
+        n = validate_trace_events(doc)
+        print(f"wrote {trace_json}: {n} trace events — load it at ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Trace a swap-out/swap-in cycle and print its phase breakdown.
+
+Runs an offload benchmark with tracing enabled, swaps the offload process
+out to host storage and back in, then rebuilds the causal span tree the
+operation emitted and prints the paper's Figure-9-style component table
+for each direction. Optionally exports the whole run as Chrome trace-event
+JSON for ui.perfetto.dev.
+
+Run:  python examples/trace_swapout.py [trace.json]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
+from repro.metrics import fmt_bytes, fmt_time
+from repro.obs import MetricsRegistry, PhaseBreakdown, write_chrome_trace
+from repro.sim import Simulator
+from repro.snapify import SWAP_IN, SWAP_OUT, snapify_command
+from repro.testbed import XeonPhiServer
+
+
+def main() -> None:
+    sim = Simulator(trace=True)
+    server = XeonPhiServer(sim=sim)
+    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=60)
+    app = OffloadApplication(server, profile)
+
+    def scenario(sim):
+        yield from app.launch()
+        yield sim.timeout(0.5)
+        print(f"[{sim.now:7.3f}s] swapping {profile.name} out to host storage...")
+        yield snapify_command(app.host_proc, SWAP_OUT, snapshot_path="/swap/demo")
+        print(f"[{sim.now:7.3f}s] swapped out; card memory released")
+        yield snapify_command(app.host_proc, SWAP_IN, engine=server.engine(0))
+        print(f"[{sim.now:7.3f}s] swapped back in; letting the app finish")
+        yield app.host_proc.main_thread.done
+
+    server.run(scenario(sim))
+    assert app.verify(), "swap cycle corrupted the application"
+
+    for root in ("snapify.swapout", "snapify.swapin"):
+        print()
+        print(PhaseBreakdown.from_trace(sim.trace, root).render())
+
+    snap = MetricsRegistry.of(sim).snapshot()
+    moved = snap["gauges"].get("link.node0.pcie0.d2h.bytes", 0)
+    print(f"\nPCIe d2h traffic over the whole run: {fmt_bytes(moved)}; "
+          f"simulated time {fmt_time(sim.now)}")
+
+    if len(sys.argv) > 1:
+        write_chrome_trace(sim.trace, sys.argv[1])
+        print(f"wrote {sys.argv[1]} — load it at ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

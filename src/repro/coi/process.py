@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
+from ..obs.registry import MetricsRegistry
 from ..osim.process import OSInstance, SimProcess
 from ..scif.endpoint import ConnectionReset, ScifEndpoint, ScifNetwork
 from ..scif.rdma import scif_vreadfrom, scif_vwriteto
@@ -181,11 +182,14 @@ class CardRuntime:
         request-send lock: a cross-process deadlock against the host-side
         half of the pause (found by the concurrency stress tests).
         """
+        reg = MetricsRegistry.of(self.sim)
         yield from self.event_client.snapify_shutdown()
         yield from self.log_client.snapify_shutdown()
+        reg.counter("snapify.drain.case3").inc(2)  # event + log channels
         while self._pipeline_busy or ("pipeline" in self.eps and self.eps["pipeline"].pending):
             yield self.sim.timeout(100e-6)
         yield self.pipeline_result_mutex.acquire(owner="snapify")
+        reg.counter("snapify.drain.case4").inc()
         self.paused = True
 
     def _enter_paused(self) -> None:
@@ -588,10 +592,15 @@ class COIProcess:
         Case 1: lifecycle lock. Case 2: DMA lock. Case 3: shut down the cmd
         channel. Case 4: the request-send lock.
         """
+        reg = MetricsRegistry.of(self.sim)
         yield self.lifecycle_mutex.acquire(owner="snapify")
+        reg.counter("snapify.drain.case1").inc()
         yield self.dma_mutex.acquire(owner="snapify")
+        reg.counter("snapify.drain.case2").inc()
         yield from self.cmd_client.snapify_shutdown()
+        reg.counter("snapify.drain.case3").inc()
         yield self.pipeline_send_mutex.acquire(owner="snapify")
+        reg.counter("snapify.drain.case4").inc()
         self.paused = True
 
     def release(self) -> None:

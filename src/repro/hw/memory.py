@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict
 
+from ..obs.registry import MetricsRegistry
 from ..sim.errors import SimError
 from .params import MemoryParams
 
@@ -46,6 +47,11 @@ class PhysicalMemory:
         self.used = 0
         self.peak = 0
         self.by_category: Dict[str, int] = {}
+        reg = MetricsRegistry.of(sim)
+        reg.gauge(f"mem.{name}.used", lambda: self.used)
+        reg.gauge(f"mem.{name}.peak", lambda: self.peak)
+        reg.gauge(f"mem.{name}.occupancy",
+                  lambda: self.used / self.capacity if self.capacity else 0.0)
 
     @property
     def available(self) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..obs.registry import MetricsRegistry
 from ..sim.sync import Mutex
 from .params import PCIeParams
 
@@ -33,6 +34,12 @@ class BandwidthLink:
         self._mutex = Mutex(sim, name=f"link:{name}")
         self.bytes_transferred = 0
         self.transfer_count = 0
+        #: total time the wire spent occupied (for utilization gauges).
+        self.busy_time = 0.0
+        reg = MetricsRegistry.of(sim)
+        reg.gauge(f"link.{name}.bytes", lambda: self.bytes_transferred)
+        reg.gauge(f"link.{name}.transfers", lambda: self.transfer_count)
+        reg.gauge(f"link.{name}.utilization", self.utilization)
 
     def occupy(self, nbytes: int, extra_latency: float = 0.0):
         """Sub-generator: hold the link for the duration of the transfer."""
@@ -44,8 +51,14 @@ class BandwidthLink:
             yield self.sim.timeout(duration)
             self.bytes_transferred += nbytes
             self.transfer_count += 1
+            self.busy_time += duration
         finally:
             self._mutex.release()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the wire was occupied."""
+        now = self.sim.now
+        return self.busy_time / now if now > 0 else 0.0
 
     @property
     def busy(self) -> bool:

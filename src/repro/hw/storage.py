@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List
 
+from ..obs.registry import MetricsRegistry
 from ..sim.events import Event
 from .params import DiskParams, MB
 
@@ -46,6 +47,11 @@ class HostDisk:
         self._flusher_started = False
         self._work_available: Event = sim.event(f"{name}.work")
         self._drain_waiters: List[Event] = []
+        reg = MetricsRegistry.of(sim)
+        reg.gauge(f"disk.{name}.dirty", lambda: self.dirty)
+        reg.gauge(f"disk.{name}.queue_depth", lambda: len(self._drain_waiters))
+        reg.gauge(f"disk.{name}.bytes_written", lambda: self.bytes_written)
+        reg.gauge(f"disk.{name}.bytes_read", lambda: self.bytes_read)
 
     # -- background flusher ----------------------------------------------------
     def _ensure_flusher(self) -> None:

@@ -1,0 +1,34 @@
+"""Observability layer: spans, metrics, phase breakdowns, trace export.
+
+Built on the span API of :mod:`repro.sim.trace` (begin/end records with
+causal parent ids), this package provides what the paper's evaluation
+needed by hand:
+
+* :class:`MetricsRegistry` — per-simulator counters / gauges / histograms,
+  snapshotable at any simulated time (gem5-style standardized stats);
+* :class:`PhaseBreakdown` / :func:`build_span_tree` — rebuild the causal
+  span tree of a checkpoint/restart and render the Figure 9/10-style
+  component table;
+* :func:`chrome_trace` / :func:`write_chrome_trace` /
+  :func:`validate_trace_events` — Chrome trace-event JSON export, one lane
+  per simulated process plus counter tracks;
+* the ``snapify trace`` CLI (:mod:`repro.obs.cli`).
+
+See docs/observability.md for the span model and the determinism rules.
+"""
+
+from .export import chrome_trace, validate_trace_events, write_chrome_trace
+from .phases import PhaseBreakdown, SpanNode, build_span_tree
+from .registry import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseBreakdown",
+    "SpanNode",
+    "build_span_tree",
+    "chrome_trace",
+    "validate_trace_events",
+    "write_chrome_trace",
+]

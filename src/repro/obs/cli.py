@@ -1,0 +1,160 @@
+"""The ``snapify`` command-line front end (``snapify trace``).
+
+``snapify trace`` runs a fully traced Snapify operation on the simulated
+testbed and turns the span tree into the paper's Figure 9/10-style phase
+breakdown table, optionally exporting the whole run as Chrome trace-event
+JSON (loadable in Perfetto / ``chrome://tracing``):
+
+    snapify trace                              # swap-out + swap-in breakdown
+    snapify trace --scenario checkpoint        # Fig. 5 checkpoint path
+    snapify trace --scenario migrate --json trace.json
+
+Also reachable without installation as ``python -m repro.snapify trace``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from .export import validate_trace_events, write_chrome_trace
+from .phases import PhaseBreakdown
+from .registry import MetricsRegistry
+
+#: scenario name -> root span names whose breakdowns are printed.
+SCENARIOS = {
+    "swapout": ["snapify.swapout", "snapify.swapin"],
+    "checkpoint": ["snapify.checkpoint"],
+    "migrate": ["snapify.migration"],
+}
+
+
+def _metrics_sampler(sim, interval: float):
+    """Daemon thread: periodically sample the registry into the trace, so
+    the export grows counter tracks alongside the span lanes."""
+    registry = MetricsRegistry.of(sim)
+    while True:
+        registry.sample(sim.trace)
+        yield sim.timeout(interval)
+
+
+def run_traced_scenario(scenario: str, iterations: int = 40,
+                        sample_interval: float = 0.01):
+    """Run ``scenario`` with tracing on; returns the booted server.
+
+    The returned server's ``sim.trace`` holds the complete record stream
+    (spans included) and ``MetricsRegistry.of(sim)`` the final instruments.
+    """
+    from ..apps import OPENMP_BENCHMARKS, OffloadApplication
+    from ..sim import Simulator
+    from ..snapify import (
+        MIGRATE, SWAP_IN, SWAP_OUT, checkpoint_offload_app, snapify_command, snapify_t,
+    )
+    from ..testbed import XeonPhiServer
+
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r} (choose from {sorted(SCENARIOS)})")
+
+    sim = Simulator(trace=True)
+    server = XeonPhiServer(sim=sim)
+    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=iterations)
+    app = OffloadApplication(server, profile)
+    if sample_interval > 0:
+        sim.spawn(_metrics_sampler(sim, sample_interval), name="metrics-sampler",
+                  daemon=True)
+
+    def driver(s):
+        yield from app.launch()
+        yield s.timeout(0.3)
+        if scenario == "swapout":
+            snap_done = snapify_command(app.host_proc, SWAP_OUT,
+                                        snapshot_path="/snapshots/trace")
+            yield snap_done
+            back = snapify_command(app.host_proc, SWAP_IN, engine=server.engine(0))
+            yield back
+        elif scenario == "checkpoint":
+            snap = snapify_t(snapshot_path="/snapshots/trace", coiproc=app.coiproc)
+            yield from checkpoint_offload_app(snap)
+        elif scenario == "migrate":
+            done = snapify_command(app.host_proc, MIGRATE, engine=server.engine(1))
+            yield done
+        yield app.host_proc.main_thread.done
+
+    server.run(driver(sim))
+    assert app.verify(), f"{scenario} scenario corrupted the application state"
+    return server
+
+
+def trace_command(args: argparse.Namespace) -> int:
+    server = run_traced_scenario(
+        args.scenario, iterations=args.iterations,
+        sample_interval=args.sample_interval,
+    )
+    tracer = server.sim.trace
+
+    breakdowns: List[Tuple[str, PhaseBreakdown]] = []
+    for root_name in SCENARIOS[args.scenario]:
+        breakdowns.append((root_name, PhaseBreakdown.from_trace(tracer, root_name)))
+    for _, breakdown in breakdowns:
+        print()
+        print(breakdown.render())
+
+    if args.metrics:
+        snap = MetricsRegistry.of(server.sim).snapshot()
+        print(f"\n== Metrics at t={snap['time']:.6f}s ==")
+        for name, value in snap["counters"].items():
+            print(f"  counter    {name:40s} {value}")
+        for name, value in snap["gauges"].items():
+            print(f"  gauge      {name:40s} {value}")
+        for name, summary in snap["histograms"].items():
+            print(f"  histogram  {name:40s} {summary}")
+
+    if args.json:
+        doc = write_chrome_trace(tracer, args.json)
+        n = validate_trace_events(doc)
+        print(f"\nwrote {args.json}: {n} trace events "
+              f"({len(tracer.records)} records) — load it at ui.perfetto.dev")
+
+    # The accounting identity the breakdown promises: union of components
+    # plus the unattributed gap reproduces the end-to-end latency.
+    for root_name, breakdown in breakdowns:
+        drift = abs(breakdown.accounted - breakdown.total)
+        limit = 0.01 * breakdown.total
+        if drift > limit:
+            print(f"WARNING: {root_name} components sum to "
+                  f"{breakdown.accounted:.6f}s but end-to-end is "
+                  f"{breakdown.total:.6f}s", file=sys.stderr)
+            return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="snapify", description="Snapify reproduction command-line tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    tr = sub.add_parser(
+        "trace",
+        help="run a traced Snapify operation and print its phase breakdown",
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    tr.add_argument("--scenario", choices=sorted(SCENARIOS), default="swapout",
+                    help="operation to run (default: swapout)")
+    tr.add_argument("--iterations", type=int, default=40,
+                    help="application iterations before the operation (default 40)")
+    tr.add_argument("--json", metavar="PATH", default=None,
+                    help="write Chrome trace-event JSON to PATH")
+    tr.add_argument("--metrics", action="store_true",
+                    help="print the final metrics-registry snapshot")
+    tr.add_argument("--sample-interval", type=float, default=0.01,
+                    help="simulated seconds between metric samples "
+                         "(0 disables counter tracks; default 0.01)")
+    tr.set_defaults(fn=trace_command)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

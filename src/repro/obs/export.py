@@ -1,0 +1,177 @@
+"""Chrome trace-event (``chrome://tracing`` / Perfetto) export.
+
+Converts a traced run into the JSON object format of the Trace Event spec:
+
+* every span becomes an async begin/end pair (``ph: "b"`` / ``"e"``) keyed
+  by its span id, placed on the lane of the simulated process that opened
+  it (the ``proc`` field spans carry) — one lane per simulated process;
+* ``metric.sample`` records become counter tracks (``ph: "C"``);
+* every other trace record becomes an instant event (``ph: "i"``), so
+  protocol markers like ``snapify.pause`` show up inline;
+* process lanes are labeled with ``ph: "M"`` metadata events.
+
+Simulated seconds map to trace microseconds (the spec's unit). The output
+of :func:`chrome_trace` loads directly in Perfetto (ui.perfetto.dev) or
+``chrome://tracing``; :func:`validate_trace_events` checks the structural
+rules and is what CI's format test runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.trace import Tracer
+
+#: Lane for records that carry no ``proc`` field (driver threads, hardware).
+DEFAULT_LANE = "sim"
+
+_VALID_PHASES = {"b", "e", "i", "C", "M", "X", "B", "E"}
+
+
+def _jsonable(value: Any) -> Any:
+    """Trace args must be JSON-serializable; repr() anything that isn't."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def chrome_trace(tracer: "Tracer", *, include_instants: bool = True) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for a traced run."""
+    events: List[Dict[str, Any]] = []
+    lanes: Dict[str, int] = {}
+    open_spans: Dict[int, Dict[str, Any]] = {}  # span id -> its begin event
+    last_ts = 0.0
+
+    def lane(proc: str) -> int:
+        pid = lanes.get(proc)
+        if pid is None:
+            pid = len(lanes) + 1
+            lanes[proc] = pid
+        return pid
+
+    for rec in tracer.records:
+        ts = rec.time * 1e6
+        last_ts = max(last_ts, ts)
+        f = rec.fields
+        if rec.category == "span.begin":
+            pid = lane(str(f.get("proc", DEFAULT_LANE)))
+            args = {k: _jsonable(v) for k, v in f.items() if k not in ("span", "name")}
+            begin = {
+                "ph": "b", "cat": "span", "id": f["span"], "name": f["name"],
+                "pid": pid, "tid": 0, "ts": ts, "args": args,
+            }
+            open_spans[f["span"]] = begin
+            events.append(begin)
+        elif rec.category == "span.end":
+            # The end event must land on the same lane as its begin.
+            begin = open_spans.pop(f["span"], None)
+            pid = begin["pid"] if begin else lane(str(f.get("proc", DEFAULT_LANE)))
+            args = {k: _jsonable(v) for k, v in f.items() if k not in ("span", "name")}
+            events.append({
+                "ph": "e", "cat": "span", "id": f["span"], "name": f["name"],
+                "pid": pid, "tid": 0, "ts": ts, "args": args,
+            })
+        elif rec.category == "metric.sample":
+            events.append({
+                "ph": "C", "cat": "metric", "name": str(f["name"]),
+                "pid": lane("metrics"), "tid": 0, "ts": ts,
+                "args": {"value": f["value"]},
+            })
+        elif include_instants:
+            pid = lane(str(f.get("proc", DEFAULT_LANE)))
+            args = {k: _jsonable(v) for k, v in f.items()}
+            events.append({
+                "ph": "i", "cat": "trace", "name": rec.category, "s": "t",
+                "pid": pid, "tid": 0, "ts": ts, "args": args,
+            })
+
+    # Spans still open when the trace was exported (a run stopped mid-
+    # operation) get a synthetic end at the last timestamp, keeping every
+    # async pair matched — viewers and the validator both require it.
+    for begin in open_spans.values():
+        events.append({
+            "ph": "e", "cat": "span", "id": begin["id"], "name": begin["name"],
+            "pid": begin["pid"], "tid": 0, "ts": last_ts,
+            "args": {"unfinished": True},
+        })
+
+    metadata = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0, "ts": 0,
+         "args": {"name": proc}}
+        for proc, pid in lanes.items()
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "spec": "trace-event-format"},
+    }
+
+
+def write_chrome_trace(tracer: "Tracer", path: str, **kwargs: Any) -> Dict[str, Any]:
+    """Export and write to ``path``; returns the trace object."""
+    doc = chrome_trace(tracer, **kwargs)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def validate_trace_events(doc: Dict[str, Any]) -> int:
+    """Check ``doc`` against the trace-event JSON-object structural rules.
+
+    Raises :class:`ValueError` on the first violation; returns the event
+    count. This is deliberately strict about what *we* promise to emit
+    (matched async begin/end pairs, non-negative timestamps, JSON-clean
+    args), not just what viewers tolerate.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a trace-event JSON object (missing 'traceEvents')")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    json.dumps(doc)  # must be losslessly serializable
+    open_async: Dict[Any, Dict[str, Any]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            raise ValueError(f"event {i}: bad phase {ph!r}")
+        if ph == "M":
+            continue
+        for key in ("pid", "tid", "ts"):
+            if key not in ev:
+                raise ValueError(f"event {i} ({ph}): missing {key!r}")
+        if ev["ts"] < 0:
+            raise ValueError(f"event {i}: negative timestamp {ev['ts']}")
+        if "name" not in ev:
+            raise ValueError(f"event {i} ({ph}): missing name")
+        if ph in ("b", "e"):
+            if "id" not in ev or "cat" not in ev:
+                raise ValueError(f"event {i} ({ph}): async events need id and cat")
+            key = (ev["cat"], ev["id"])
+            if ph == "b":
+                if key in open_async:
+                    raise ValueError(f"event {i}: async id {key} begun twice")
+                open_async[key] = ev
+            else:
+                begin = open_async.pop(key, None)
+                if begin is None:
+                    raise ValueError(f"event {i}: async end {key} without begin")
+                if begin["name"] != ev["name"]:
+                    raise ValueError(
+                        f"event {i}: async end name {ev['name']!r} != "
+                        f"begin name {begin['name']!r}"
+                    )
+                if ev["ts"] < begin["ts"]:
+                    raise ValueError(f"event {i}: async end precedes its begin")
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                raise ValueError(f"event {i}: counter without numeric args.value")
+    if open_async:
+        names = sorted(str(ev["name"]) for ev in open_async.values())[:8]
+        raise ValueError(f"{len(open_async)} async span(s) never ended: {names}")
+    return len(events)

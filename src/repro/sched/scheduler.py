@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List
 
 from ..coi.engine import COIEngine
+from ..obs.registry import MetricsRegistry
 from ..osim.process import SimProcess
 from ..snapify.cli import SWAP_IN, SWAP_OUT, snapify_command
 
@@ -50,6 +51,13 @@ class SwapScheduler:
         self.headroom = headroom
         self.jobs: Dict[int, TenantJob] = {}
         self.swap_events: List[tuple] = []
+        reg = MetricsRegistry.of(self.sim)
+        self.m_swap_outs = reg.counter(f"sched.dev{device}.swap_outs")
+        self.m_swap_ins = reg.counter(f"sched.dev{device}.swap_ins")
+        reg.gauge(f"sched.dev{device}.resident_jobs",
+                  lambda: len(self.resident_jobs()))
+        reg.gauge(f"sched.dev{device}.swapped_jobs",
+                  lambda: len(self.swapped_jobs()))
 
     # -- bookkeeping -------------------------------------------------------------
     def register(self, host_proc: SimProcess, footprint: int) -> TenantJob:
@@ -108,6 +116,9 @@ class SwapScheduler:
         yield done
         job.state = "swapped"
         job.swap_count += 1
+        self.m_swap_outs.inc()
+        self.sim.trace.emit("sched.swap_out", proc=job.host_proc.name,
+                            footprint=job.footprint)
         self.swap_events.append(("out", job.host_proc.name, self.sim.now))
 
     def _swap_in(self, job: TenantJob):
@@ -115,4 +126,7 @@ class SwapScheduler:
         done = snapify_command(job.host_proc, SWAP_IN, engine=engine)
         yield done
         job.state = "resident"
+        self.m_swap_ins.inc()
+        self.sim.trace.emit("sched.swap_in", proc=job.host_proc.name,
+                            footprint=job.footprint)
         self.swap_events.append(("in", job.host_proc.name, self.sim.now))

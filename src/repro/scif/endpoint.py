@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..hw.node import ServerNode
 from ..hw.pcie import DEVICE_TO_HOST, HOST_TO_DEVICE, PCIeLink
+from ..obs.registry import MetricsRegistry
 from ..sim.channel import Channel
 from ..sim.errors import SimError
 from ..sim.events import Event
@@ -76,6 +77,13 @@ class ScifNetwork:
         self.sim = node.sim
         self._listeners: Dict[Tuple[int, int], Channel] = {}
         self._ephemeral = itertools.count(EPHEMERAL_BASE)
+        self.endpoints: List["ScifEndpoint"] = []
+        reg = MetricsRegistry.of(self.sim)
+        self._m_connects = reg.counter(f"scif.{node.name}.connections")
+        reg.gauge(f"scif.{node.name}.open_endpoints",
+                  lambda: sum(1 for ep in self.endpoints if not ep.closed))
+        reg.gauge(f"scif.{node.name}.pending_messages",
+                  lambda: sum(ep.pending for ep in self.endpoints if not ep.closed))
 
     @staticmethod
     def of(node: ServerNode) -> "ScifNetwork":
@@ -129,6 +137,9 @@ class ScifNetwork:
         server = ScifEndpoint(self.sim, dst_os, port=dst_port)
         client._attach(server)
         server._attach(client)
+        self._m_connects.inc()
+        self.endpoints.append(client)
+        self.endpoints.append(server)
         # Connection handshake: one control message each way.
         for link, direction in _segments(src_os, dst_os):
             yield from link.message(direction)
@@ -167,6 +178,7 @@ class ScifEndpoint:
         self.proc = proc
         self.peer: Optional["ScifEndpoint"] = None
         self._rx = Channel(sim, name=f"scif.ep{self.eid}.rx")
+        self._m_msgs = MetricsRegistry.of(sim).counter("scif.messages")
         self.closed = False
         #: offset -> window size; see repro.scif.registry
         self.windows: Dict[int, int] = {}
@@ -189,6 +201,7 @@ class ScifEndpoint:
             yield from link.message(direction, nbytes)
         if not _segments(self.os, peer.os):
             yield self.sim.timeout(1e-6)  # loopback
+        self._m_msgs.inc()
         yield peer._rx.send(msg)
 
     def send_sync(self, msg: Any, nbytes: int = 64):

@@ -10,7 +10,7 @@ from .errors import DeadlockError, Interrupted, SimError, SimTimeLimit, ThreadKi
 from .events import AllOf, AnyOf, Event, Timeout
 from .kernel import Simulator, Thread
 from .sync import Barrier, Condition, Mutex, Semaphore
-from .trace import TraceRecord, Tracer
+from .trace import NULL_SPAN, Span, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
@@ -23,10 +23,12 @@ __all__ = [
     "Event",
     "Interrupted",
     "Mutex",
+    "NULL_SPAN",
     "Semaphore",
     "SimError",
     "SimTimeLimit",
     "Simulator",
+    "Span",
     "Thread",
     "ThreadKilled",
     "Timeout",

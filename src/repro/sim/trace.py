@@ -1,4 +1,4 @@
-"""Structured tracing for the simulation.
+"""Structured tracing for the simulation: records and causal spans.
 
 Protocol tests assert on trace event ordering (e.g. "no RDMA transfer occurs
 between pause-complete and resume"), so the tracer keeps structured records
@@ -9,12 +9,36 @@ branching on an ``enabled`` flag inside :meth:`Tracer.emit`, the tracer
 swaps ``emit`` itself (an instance attribute shadowing the class) between a
 module-level no-op and the real recording method whenever ``enabled`` is
 assigned. Disabled emits are a single no-op call with no record allocation.
+:meth:`Tracer.span` gets the same treatment: with tracing off it is a
+module-level function returning the shared :data:`NULL_SPAN`, so span sites
+neither allocate nor draw a span id.
+
+Spans
+-----
+A :class:`Span` is a pair of trace records (``span.begin`` / ``span.end``)
+linked by a *span id* drawn from a per-tracer (hence per-simulator) counter,
+so a given workload always produces the same ids. Causality is explicit:
+the creator passes ``parent`` — either a :class:`Span` or a bare span id
+that rode along in a protocol message — which is how one checkpoint's tree
+crosses the host-process / COI-daemon / offload-process boundaries. The
+span tree of a whole operation is rebuilt from the records by
+:mod:`repro.obs.phases` and exported to Chrome trace-event JSON by
+:mod:`repro.obs.export`.
+
+Sinks
+-----
+``Tracer.sinks`` callables observe records as they are emitted — but only
+*emitted* records: the disabled tracer's emit is a no-op, so a sink attached
+while ``enabled`` is ``False`` sees nothing until the tracer is enabled.
+Tests that need a window of tracing should use :meth:`Tracer.capture`
+instead of flipping ``enabled`` and calling ``clear()`` by hand.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
@@ -31,8 +55,77 @@ class TraceRecord:
         return f"[{self.time:12.6f}] {self.category}: {kv}"
 
 
+class Span:
+    """An open interval of simulated time with a causal parent.
+
+    Created by :meth:`Tracer.span`; closed by :meth:`finish`. The begin and
+    end records carry the span id, so the tree is reconstructible from the
+    flat record list alone. ``span_id`` is safe to embed in protocol
+    messages — the receiving layer passes it back as ``parent``.
+    """
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "start", "end")
+
+    def __init__(self, tracer: Optional["Tracer"], span_id: int, parent_id: int,
+                 name: str, start: float):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+
+    def finish(self, **fields: Any) -> None:
+        """Close the span, emitting its ``span.end`` record."""
+        tracer = self._tracer
+        if tracer is None or self.end is not None:
+            return
+        self.end = tracer._sim.now
+        tracer.emit("span.end", span=self.span_id, name=self.name, **fields)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "open" if self.end is None else f"end={self.end:g}"
+        return f"<Span {self.span_id} {self.name!r} start={self.start:g} {state}>"
+
+
+#: The disabled-tracer span: finish() is a no-op and span_id is 0 (= "no
+#: parent"), so code can unconditionally embed ``sp.span_id`` in messages.
+NULL_SPAN = Span(None, 0, 0, "", 0.0)
+
+ParentLike = Union[Span, int, None]
+
+
 def _noop_emit(category: str, **fields: Any) -> None:
     """Disabled-tracer emit: swallow the call as cheaply as possible."""
+
+
+def _noop_span(name: str, parent: ParentLike = None, **fields: Any) -> Span:
+    """Disabled-tracer span(): no allocation, no id drawn."""
+    return NULL_SPAN
+
+
+class _Capture:
+    """Context manager for :meth:`Tracer.capture`."""
+
+    __slots__ = ("_tracer", "_prior")
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+        self._prior = False
+
+    def __enter__(self) -> "Tracer":
+        self._prior = self._tracer.enabled
+        self._tracer.enabled = True
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.enabled = self._prior
 
 
 class Tracer:
@@ -42,8 +135,15 @@ class Tracer:
         self._sim = sim
         self.records: List[TraceRecord] = []
         self.sinks: List[Callable[[TraceRecord], None]] = []
+        #: Per-category record index kept in emit order; find()/first_time()/
+        #: last_time() scan only their category instead of every record.
+        self._by_category: Dict[str, List[TraceRecord]] = {}
+        #: Per-tracer span ids: deterministic for a given workload, and one
+        #: tracer per simulator means no cross-instance leakage.
+        self._span_ids = itertools.count(1)
         self._enabled = False
         self.emit: Callable[..., None] = _noop_emit
+        self.span: Callable[..., Span] = _noop_span
         self.enabled = enabled  # property setter installs the right emit
 
     @property
@@ -54,32 +154,79 @@ class Tracer:
     def enabled(self, on: bool) -> None:
         on = bool(on)
         self._enabled = on
-        # Hoist the check out of the hot path: swap the bound method.
-        self.emit = self._emit if on else _noop_emit
+        # Hoist the check out of the hot path: swap the bound methods.
+        if on:
+            self.emit = self._emit
+            self.span = self._span
+        else:
+            self.emit = _noop_emit
+            self.span = _noop_span
 
     def _emit(self, category: str, **fields: Any) -> None:
         rec = TraceRecord(self._sim.now, category, fields)
         self.records.append(rec)
+        bucket = self._by_category.get(category)
+        if bucket is None:
+            self._by_category[category] = [rec]
+        else:
+            bucket.append(rec)
         for sink in self.sinks:
             sink(rec)
 
+    def _span(self, name: str, parent: ParentLike = None, **fields: Any) -> Span:
+        if parent is None:
+            parent_id = 0
+        elif isinstance(parent, Span):
+            parent_id = parent.span_id
+        else:
+            parent_id = int(parent)
+        sp = Span(self, next(self._span_ids), parent_id, name, self._sim.now)
+        self._emit("span.begin", span=sp.span_id, parent=parent_id, name=name, **fields)
+        return sp
+
+    def capture(self, clear: bool = False) -> _Capture:
+        """``with tracer.capture():`` — enable tracing inside the block.
+
+        The prior ``enabled`` state is restored on exit; records emitted in
+        the block stay in :attr:`records` for inspection. ``clear=True``
+        drops previously collected records on entry, so the block starts
+        from an empty trace.
+        """
+        if clear:
+            self.clear()
+        return _Capture(self)
+
     def clear(self) -> None:
         self.records.clear()
+        self._by_category.clear()
 
     def find(self, category: str, **match: Any) -> List[TraceRecord]:
         """Records of ``category`` whose fields contain all of ``match``."""
-        out = []
-        for rec in self.records:
-            if rec.category != category:
-                continue
-            if all(rec.fields.get(k) == v for k, v in match.items()):
-                out.append(rec)
-        return out
+        bucket = self._by_category.get(category)
+        if not bucket:
+            return []
+        if not match:
+            return list(bucket)
+        items = match.items()
+        return [rec for rec in bucket
+                if all(rec.fields.get(k) == v for k, v in items)]
 
     def first_time(self, category: str, **match: Any) -> Optional[float]:
-        recs = self.find(category, **match)
-        return recs[0].time if recs else None
+        bucket = self._by_category.get(category)
+        if not bucket:
+            return None
+        items = match.items()
+        for rec in bucket:
+            if all(rec.fields.get(k) == v for k, v in items):
+                return rec.time
+        return None
 
     def last_time(self, category: str, **match: Any) -> Optional[float]:
-        recs = self.find(category, **match)
-        return recs[-1].time if recs else None
+        bucket = self._by_category.get(category)
+        if not bucket:
+            return None
+        items = match.items()
+        for rec in reversed(bucket):
+            if all(rec.fields.get(k) == v for k, v in items):
+                return rec.time
+        return None

@@ -1,0 +1,8 @@
+"""``python -m repro.snapify`` — the snapify command-line front end."""
+
+import sys
+
+from ..obs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

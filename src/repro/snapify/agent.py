@@ -56,18 +56,30 @@ def _restored_agent(proc: SimProcess, pipe_end):
 def agent_loop(proc: SimProcess, pipe_end):
     """Service loop over the daemon pipe."""
     runtime: CardRuntime = proc.runtime["coi"]
+    sim = proc.sim
     while True:
         msg = yield pipe_end.recv()
         op = msg["op"]
+        parent = msg.get("span", 0)
         if op == "pause":
+            sp = sim.trace.span("agent.pause", parent=parent, proc=proc.name)
+            sub = sim.trace.span("agent.quiesce", parent=sp)
             yield from runtime.quiesce()
+            sub.finish()
+            sub = sim.trace.span("agent.localstore_save", parent=sp,
+                                 node=msg.get("localstore_node", 0))
             ls_bytes = yield from save_local_store(
-                proc, runtime, msg["path"], node=msg.get("localstore_node", 0)
+                proc, runtime, msg["path"], node=msg.get("localstore_node", 0),
+                span=sub.span_id,
             )
+            sub.finish(bytes=ls_bytes)
             yield from pipe_end.send({"t": c.PAUSE_COMPLETE, "localstore_bytes": ls_bytes})
+            sp.finish(localstore_bytes=ls_bytes)
         elif op == "capture":
+            sp = sim.trace.span("agent.capture", parent=parent, proc=proc.name)
             fd = yield from snapifyio_open(
-                proc.os, node=0, path=c.context_path(msg["path"]), mode="w", proc=proc
+                proc.os, node=0, path=c.context_path(msg["path"]), mode="w", proc=proc,
+                span=sp.span_id,
             )
             done = cr_request_checkpoint(proc, fd)
             ctx = yield done
@@ -75,15 +87,18 @@ def agent_loop(proc: SimProcess, pipe_end):
             yield from pipe_end.send(
                 {"t": c.CAPTURE_COMPLETE, "image_bytes": ctx.image_bytes}
             )
+            sp.finish(bytes=ctx.image_bytes)
         elif op == "resume":
+            sp = sim.trace.span("agent.resume", parent=parent, proc=proc.name)
             runtime.release()
             yield from pipe_end.send({"t": c.RESUME_ACK})
+            sp.finish()
         else:  # pragma: no cover - protocol error
             raise RuntimeError(f"snapify agent: unknown op {op!r}")
 
 
 def save_local_store(proc: SimProcess, runtime: CardRuntime, snapshot_path: str,
-                     node: int = 0):
+                     node: int = 0, span: int = 0):
     """Sub-generator: stream the local store (COI buffer files) through
     Snapify-IO to SCIF node ``node`` — the host (0) for checkpoint/swap, or
     the migration target card directly ("the offload process copies its
@@ -96,7 +111,8 @@ def save_local_store(proc: SimProcess, runtime: CardRuntime, snapshot_path: str,
     meta = {"buffers": {}}
     total = 0
     fd = yield from snapifyio_open(
-        proc.os, node=node, path=c.localstore_path(snapshot_path), mode="w", proc=proc
+        proc.os, node=node, path=c.localstore_path(snapshot_path), mode="w", proc=proc,
+        span=span,
     )
     for buf_id, entry in sorted(runtime._buffers.items()):
         f = runtime.buffer_file(buf_id)

@@ -16,13 +16,18 @@ Five functions over a ``snapify_t`` handle:
   process stays blocked until ``snapify_resume``).
 
 Each function records its wall-clock cost in ``snap.timings`` and sizes in
-``snap.sizes`` — the raw material of Figures 10 and 11.
+``snap.sizes`` — the raw material of Figures 10 and 11. When tracing is on,
+each function also opens a :class:`~repro.sim.trace.Span` (parented on
+``snap.span``, the use-case root) and forwards its span id inside the
+SERVICE message, so the daemon- and agent-side work joins the same causal
+tree; :class:`repro.obs.PhaseBreakdown` turns that tree into the paper's
+Figure 9/10-style component tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..coi.engine import COIEngine
 from ..coi.process import COIProcess
@@ -48,6 +53,9 @@ class snapify_t:
     localstore_node: int = 0
     #: Set when an in-flight capture failed (offload process died).
     error: Optional[str] = None
+    #: Root span of the enclosing use case (swap-out, checkpoint, ...); the
+    #: API calls parent their own spans on it. None/NULL_SPAN when untraced.
+    span: Optional[Any] = None
     #: Instrumentation for the benchmark harness.
     timings: Dict[str, float] = field(default_factory=dict)
     sizes: Dict[str, int] = field(default_factory=dict)
@@ -74,38 +82,50 @@ def snapify_pause(snap: snapify_t):
     sim = coiproc.sim
     t0 = sim.now
     host_os = coiproc.host_proc.os
+    host_name = coiproc.host_proc.name
     pid = coiproc.offload_proc.pid
+    sp = sim.trace.span("snapify.pause", parent=snap.span, pid=pid, proc=host_name)
 
     # Step 0: copy the runtime libraries into the snapshot directory
     # (host-local copy; the footnote-2 optimization).
+    sub = sim.trace.span("pause.libs_copy", parent=sp, proc=host_name)
     _ensure_libs_file(host_os)
     yield from host_os.fs.read(c.LIBS_SOURCE_PATH)
     yield from host_os.fs.write(c.libs_path(snap.snapshot_path), c.COI_LIBS_SIZE)
     snap.sizes["libs"] = c.COI_LIBS_SIZE
+    sub.finish(bytes=c.COI_LIBS_SIZE)
 
     # Steps 1-3: service request; daemon opens the pipe and signals the
     # offload process; its ack is relayed back to us.
+    sub = sim.trace.span("pause.handshake", parent=sp, proc=host_name)
     yield from coiproc.daemon_ep.send(
-        {"type": c.SERVICE, "op": c.OP_PAUSE_INIT, "pid": pid}
+        {"type": c.SERVICE, "op": c.OP_PAUSE_INIT, "pid": pid, "span": sp.span_id}
     )
     ack = yield coiproc.daemon_ep.recv()
     if ack.get("t") != c.PAUSE_ACK:
         raise SnapifyError(f"pause handshake failed: {ack!r}")
+    sub.finish()
 
     # Step 4: tell the offload agent to drain its side, and drain ours
     # concurrently (cases 1-4 of §4.1).
+    sub = sim.trace.span("pause.drain", parent=sp, proc=host_name)
     yield from coiproc.daemon_ep.send(
         {"type": c.SERVICE, "op": c.OP_PAUSE_GO, "pid": pid,
-         "path": snap.snapshot_path, "localstore_node": snap.localstore_node}
+         "path": snap.snapshot_path, "localstore_node": snap.localstore_node,
+         "span": sp.span_id}
     )
     yield from coiproc.quiesce()
     done = yield coiproc.daemon_ep.recv()
     if done.get("t") == c.SNAPIFY_FAILED:
+        sub.finish(error=done.get("reason"))
+        sp.finish(error=done.get("reason"))
         raise SnapifyError(f"pause failed: {done.get('reason')}")
     if done.get("t") != c.PAUSE_COMPLETE:
         raise SnapifyError(f"pause did not complete: {done!r}")
     snap.sizes["local_store"] = done.get("localstore_bytes", 0)
+    sub.finish(localstore_bytes=snap.sizes["local_store"])
     snap.timings["pause"] = sim.now - t0
+    sp.finish(elapsed=snap.timings["pause"])
     sim.trace.emit("snapify.pause", pid=pid, path=snap.snapshot_path,
                    elapsed=snap.timings["pause"])
 
@@ -120,9 +140,12 @@ def snapify_capture(snap: snapify_t, terminate: bool):
     sim = coiproc.sim
     snap.sem = Semaphore(sim, value=0, name="snapify.capture")
     t0 = sim.now
+    sp = sim.trace.span("snapify.capture", parent=snap.span,
+                        pid=coiproc.offload_proc.pid, terminate=terminate,
+                        proc=coiproc.host_proc.name)
     yield from coiproc.daemon_ep.send(
         {"type": c.SERVICE, "op": c.OP_CAPTURE, "pid": coiproc.offload_proc.pid,
-         "path": snap.snapshot_path, "terminate": terminate}
+         "path": snap.snapshot_path, "terminate": terminate, "span": sp.span_id}
     )
 
     def _completion_waiter():
@@ -130,15 +153,18 @@ def snapify_capture(snap: snapify_t, terminate: bool):
             done = yield coiproc.daemon_ep.recv()
         except Exception as exc:  # daemon/card died under the capture
             snap.error = f"lost the COI daemon during capture: {exc}"
+            sp.finish(error="daemon-lost")
             snap.sem.post()
             return
         if done.get("t") != c.CAPTURE_COMPLETE:
             # Surface the failure through the semaphore: snapify_wait raises.
             snap.error = done.get("reason", repr(done))
+            sp.finish(error="capture-failed")
             snap.sem.post()
             return
         snap.sizes["offload_snapshot"] = done.get("image_bytes", 0)
         snap.timings["capture"] = sim.now - t0
+        sp.finish(bytes=snap.sizes["offload_snapshot"])
         sim.trace.emit("snapify.capture", pid=coiproc.offload_proc.pid,
                        terminate=terminate, bytes=snap.sizes["offload_snapshot"])
         if terminate:
@@ -168,8 +194,11 @@ def snapify_resume(snap: snapify_t):
         raise SnapifyError("resume: empty handle")
     sim = coiproc.sim
     t0 = sim.now
+    sp = sim.trace.span("snapify.resume", parent=snap.span,
+                        pid=coiproc.offload_proc.pid, proc=coiproc.host_proc.name)
     yield from coiproc.daemon_ep.send(
-        {"type": c.SERVICE, "op": c.OP_RESUME, "pid": coiproc.offload_proc.pid}
+        {"type": c.SERVICE, "op": c.OP_RESUME, "pid": coiproc.offload_proc.pid,
+         "span": sp.span_id}
     )
     ack = yield coiproc.daemon_ep.recv()
     if ack.get("t") != c.RESUME_ACK:
@@ -178,6 +207,7 @@ def snapify_resume(snap: snapify_t):
     if coiproc.paused:
         coiproc.release()
     snap.timings["resume"] = sim.now - t0
+    sp.finish(elapsed=snap.timings["resume"])
     sim.trace.emit("snapify.resume", pid=coiproc.offload_proc.pid)
 
 
@@ -192,11 +222,14 @@ def snapify_restore(snap: snapify_t, engine: COIEngine, host_proc: SimProcess):
     sim = engine.sim
     t0 = sim.now
     old = snap.coiproc
+    sp = sim.trace.span("snapify.restore", parent=snap.span,
+                        device=engine.device_id, proc=host_proc.name)
 
     daemon_ep = yield from engine.connect_daemon(host_proc)
     yield from daemon_ep.send(
         {"type": c.SERVICE, "op": c.OP_RESTORE, "path": snap.snapshot_path,
-         "host_proc": host_proc, "localstore_node": snap.localstore_node}
+         "host_proc": host_proc, "localstore_node": snap.localstore_node,
+         "span": sp.span_id}
     )
     reply = yield daemon_ep.recv()
     if reply.get("t") != "restore-complete":
@@ -204,6 +237,7 @@ def snapify_restore(snap: snapify_t, engine: COIEngine, host_proc: SimProcess):
 
     offload_proc = reply["offload_proc"]
     binary = offload_proc.store.get("_coi_binary")
+    sub = sim.trace.span("restore.reconnect", parent=sp, proc=host_proc.name)
     eps = yield from engine.connect_channels(host_proc, reply["port"]).connect_all()
     new = COIProcess(
         host_proc=host_proc, engine=engine, binary=binary,
@@ -213,6 +247,7 @@ def snapify_restore(snap: snapify_t, engine: COIEngine, host_proc: SimProcess):
     # Re-registration: ask the card for the new RDMA offsets and extend the
     # (old, new) lookup table so stale buffer handles keep working.
     rereg = yield from new.cmd_client.rpc({"type": m.BUFFER_REREGISTER})
+    sub.finish()
     new_offsets: Dict[int, int] = rereg["offsets"]
     if old is not None:
         new.rdma_address_map.update(old.rdma_address_map)
@@ -232,6 +267,7 @@ def snapify_restore(snap: snapify_t, engine: COIEngine, host_proc: SimProcess):
 
     snap.coiproc = new
     snap.timings["restore"] = sim.now - t0
+    sp.finish(pid=new.offload_proc.pid, elapsed=snap.timings["restore"])
     sim.trace.emit("snapify.restore", pid=new.offload_proc.pid,
                    device=engine.device_id, path=snap.snapshot_path)
     return new

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Dict
 
 from ..blcr import cr_restart
 from ..coi.daemon import COIDaemon, DaemonEntry
+from ..obs.registry import MetricsRegistry
 from ..osim.pipes import DuplexPipe
 from ..osim.process import SimProcess
 from ..osim import signals as sig
@@ -40,6 +41,8 @@ class ActiveRequest:
     op: str
     #: capture-only: terminate the offload process once the context is saved.
     terminate_after: bool = False
+    #: span id of the host-side API span that issued the request (0 = untraced).
+    span_id: int = 0
 
 
 class SnapifyService:
@@ -51,6 +54,10 @@ class SnapifyService:
         self.active: Dict[int, ActiveRequest] = {}  # offload pid -> request
         self.monitor_running = False
         self.monitor_spawn_count = 0
+        reg = MetricsRegistry.of(self.sim)
+        self.m_spawns = reg.counter("snapify.monitor.spawns")
+        self.m_relays = reg.counter("snapify.monitor.relays")
+        reg.gauge("snapify.monitor.active_requests", lambda: len(self.active))
 
     @staticmethod
     def of(daemon: COIDaemon) -> "SnapifyService":
@@ -68,6 +75,9 @@ class SnapifyService:
             return
         self.monitor_running = True
         self.monitor_spawn_count += 1
+        self.m_spawns.inc()
+        self.sim.trace.emit("monitor.spawn", daemon=self.daemon.proc.name,
+                            active=len(self.active))
         self.daemon.proc.spawn_thread(self._monitor(), name="snapify-monitor", daemon=True)
 
     def _monitor(self):
@@ -90,10 +100,14 @@ class SnapifyService:
                     )
             yield self.sim.timeout(c.MONITOR_POLL_INTERVAL)
         self.monitor_running = False
+        self.sim.trace.emit("monitor.exit", daemon=self.daemon.proc.name)
 
     def _relay(self, pid: int, req: ActiveRequest, msg: Dict[str, Any]):
         """Forward a pipe status message to the requesting host process."""
         status = msg["t"]
+        self.m_relays.inc()
+        self.sim.trace.emit("monitor.relay", pid=pid, status=status,
+                            span=req.span_id)
         yield from req.host_ep.send(dict(msg))
         if status == c.CAPTURE_COMPLETE and req.terminate_after:
             # Snapify marks the exit as expected so the daemon does not
@@ -132,6 +146,8 @@ def _handle_pause_init(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     """Steps 1-3 of Fig. 3: create the pipe, signal the offload process,
     wait for its acknowledgement, and relay it to the host."""
     entry = _entry(daemon, msg["pid"])
+    sp = daemon.sim.trace.span("daemon.pause_init", parent=msg.get("span", 0),
+                               pid=msg["pid"], proc=daemon.proc.name)
     pipe = DuplexPipe(daemon.sim, name=f"snapify-pipe:{msg['pid']}")
     entry.pipe = pipe.a
     entry.offload_proc.runtime["snapify_pipe_pending"] = pipe.b
@@ -139,9 +155,11 @@ def _handle_pause_init(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     ack = yield pipe.a.recv()
     if ack.get("t") != c.PAUSE_ACK:
         raise SnapifyError(f"bad pause ack {ack!r}")
-    svc.active[msg["pid"]] = ActiveRequest(entry=entry, host_ep=ep, op="pause")
+    svc.active[msg["pid"]] = ActiveRequest(entry=entry, host_ep=ep, op="pause",
+                                           span_id=msg.get("span", 0))
     svc.ensure_monitor()
     yield from ep.send({"t": c.PAUSE_ACK})
+    sp.finish()
 
 
 def _handle_simple_forward(daemon, svc: SnapifyService, ep, msg, pipe_op: str):
@@ -155,9 +173,11 @@ def _handle_simple_forward(daemon, svc: SnapifyService, ep, msg, pipe_op: str):
         req = ActiveRequest(entry=entry, host_ep=ep, op=pipe_op)
         svc.active[msg["pid"]] = req
     req.op, req.host_ep = pipe_op, ep
+    req.span_id = msg.get("span", 0)
     svc.ensure_monitor()
     yield from entry.pipe.send({"op": pipe_op, "path": msg.get("path"),
-                                "localstore_node": msg.get("localstore_node", 0)})
+                                "localstore_node": msg.get("localstore_node", 0),
+                                "span": msg.get("span", 0)})
 
 
 def _handle_capture(daemon, svc: SnapifyService, ep, msg):
@@ -167,9 +187,11 @@ def _handle_capture(daemon, svc: SnapifyService, ep, msg):
     req = svc.active.get(msg["pid"]) or ActiveRequest(entry=entry, host_ep=ep, op="capture")
     req.op, req.host_ep = "capture", ep
     req.terminate_after = bool(msg.get("terminate"))
+    req.span_id = msg.get("span", 0)
     svc.active[msg["pid"]] = req
     svc.ensure_monitor()
-    yield from entry.pipe.send({"op": "capture", "path": msg["path"]})
+    yield from entry.pipe.send({"op": "capture", "path": msg["path"],
+                                "span": msg.get("span", 0)})
 
 
 def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
@@ -178,12 +200,17 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     reconnect port back to the host."""
     path = msg["path"]
     phi_os = daemon.phi_os
+    sp = daemon.sim.trace.span("daemon.restore", parent=msg.get("span", 0),
+                               path=path, proc=daemon.proc.name)
 
     # 1. Runtime libraries stream host -> card (charged, then dropped: they
     #    are dynamically mapped, not duplicated in the RAM-FS model).
-    libs_fd = yield from snapifyio_open(phi_os, 0, c.libs_path(path), "r")
+    sub = daemon.sim.trace.span("daemon.restore.libs_in", parent=sp)
+    libs_fd = yield from snapifyio_open(phi_os, 0, c.libs_path(path), "r",
+                                        span=sub.span_id)
     yield from _drain_read(libs_fd)
     libs_fd.close()
+    sub.finish()
 
     # 2. Local store files are recreated on the card RAM-FS. For migration
     #    the pause already staged them on THIS card (the paper's direct
@@ -192,6 +219,8 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     ls_node = msg.get("localstore_node", 0)
     my_node = daemon.phi.scif_node_id
     staging = c.localstore_path(path)
+    sub = daemon.sim.trace.span("daemon.restore.localstore_in", parent=sp,
+                                node=ls_node)
     if ls_node == my_node and phi_os.fs.exists(staging):
         f = phi_os.fs.stat(staging)
         records = list(f.payload) if isinstance(f.payload, list) else []
@@ -202,7 +231,8 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
                                        payload=info["payload"])
         phi_os.fs.unlink(staging)  # release the staging copy
     else:
-        ls_fd = yield from snapifyio_open(phi_os, ls_node, staging, "r")
+        ls_fd = yield from snapifyio_open(phi_os, ls_node, staging, "r",
+                                          span=sub.span_id)
         records = yield from _drain_read(ls_fd)
         ls_fd.close()
         meta = records[-1] if records else {"buffers": {}}
@@ -210,12 +240,16 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
             phi_os.fs.create(info["path"])
             yield from phi_os.fs.write(info["path"], info["size"],
                                        payload=info["payload"])
+    sub.finish()
 
     # 3. Restart the process image straight off the host file system.
+    sub = daemon.sim.trace.span("daemon.restore.cr_restart", parent=sp)
     port = next(daemon._ports)
-    ctx_fd = yield from snapifyio_open(phi_os, 0, c.context_path(path), "r")
+    ctx_fd = yield from snapifyio_open(phi_os, 0, c.context_path(path), "r",
+                                       span=sub.span_id)
     proc = yield from cr_restart(phi_os, ctx_fd, start=False)
     ctx_fd.close()
+    sub.finish()
     proc.store["_listen_port"] = port
 
     pipe = DuplexPipe(daemon.sim, name=f"snapify-pipe:{proc.pid}")
@@ -235,10 +269,12 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     ack = yield pipe.a.recv()  # restored agent announces itself
     if ack.get("t") != c.PAUSE_ACK:
         raise SnapifyError(f"restored agent bad hello: {ack!r}")
-    svc.active[proc.pid] = ActiveRequest(entry=entry, host_ep=ep, op="restore")
+    svc.active[proc.pid] = ActiveRequest(entry=entry, host_ep=ep, op="restore",
+                                         span_id=msg.get("span", 0))
     svc.ensure_monitor()
     yield from ep.send({"t": "restore-complete", "port": port, "pid": proc.pid,
                         "offload_proc": proc})
+    sp.finish(pid=proc.pid)
 
 
 def _drain_read(fd):

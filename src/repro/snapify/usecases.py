@@ -49,12 +49,16 @@ def checkpoint_offload_app(snap: snapify_t):
     host_proc = coiproc.host_proc
     sim = coiproc.sim
     t0 = sim.now
+    root = sim.trace.span("snapify.checkpoint", parent=snap.span,
+                          pid=coiproc.offload_proc.pid, proc=host_proc.name)
+    snap.span = root
 
     yield from snapify_pause(snap)
     yield from snapify_capture(snap, terminate=False)
 
     # Host snapshot proceeds in parallel with the offload capture.
     t_host0 = sim.now
+    sp = sim.trace.span("checkpoint.host_snapshot", parent=root, proc=host_proc.name)
     # Host BLCR context writes are effectively synchronous (kernel-side
     # direct writes): the disk, not the page cache, paces the host snapshot.
     fd = RegularFileFD(sim, host_proc.os.fs, host_context_path(snap.snapshot_path), "w",
@@ -63,10 +67,12 @@ def checkpoint_offload_app(snap: snapify_t):
     fd.close()
     snap.timings["host_snapshot"] = sim.now - t_host0
     snap.sizes["host_snapshot"] = host_ctx.image_bytes
+    sp.finish(bytes=host_ctx.image_bytes)
 
     yield from snapify_wait(snap)
     yield from snapify_resume(snap)
     snap.timings["checkpoint_total"] = sim.now - t0
+    root.finish(elapsed=snap.timings["checkpoint_total"])
     return host_ctx
 
 
@@ -85,13 +91,16 @@ def restart_offload_app(
     """
     sim = host_os.sim
     t0 = sim.now
+    root = sim.trace.span("snapify.restart", path=snapshot_path)
 
+    sp = sim.trace.span("restart.host_restart", parent=root)
     fd = RegularFileFD(sim, host_os.fs, host_context_path(snapshot_path), "r")
     host_proc = yield from cr_restart(host_os, fd, start=False)
     fd.close()
     t_host = sim.now - t0
+    sp.finish()
 
-    snap = snapify_t(snapshot_path=snapshot_path)
+    snap = snapify_t(snapshot_path=snapshot_path, span=root)
     t1 = sim.now
     new_handle = yield from snapify_restore(snap, engine, host_proc)
     host_proc.runtime["coi_restored_handle"] = new_handle
@@ -102,6 +111,7 @@ def restart_offload_app(
     snap.timings["host_restart"] = t_host
     snap.timings["offload_restore"] = t_offload
     snap.timings["restart_total"] = sim.now - t0
+    root.finish(elapsed=snap.timings["restart_total"])
     return RestartResult(host_proc=host_proc, coiproc=new_handle, snap=snap)
 
 
@@ -118,24 +128,31 @@ class RestartResult:
 
 
 def snapify_swapout(snapshot_path: str, coiproc: COIProcess,
-                    localstore_node: int = 0):
+                    localstore_node: int = 0, parent: Optional[object] = None):
     """Sub-generator: Fig. 6's swap-out — pause, capture with terminate,
     wait. Returns the ``snapify_t`` representing the swapped-out process.
 
     ``localstore_node`` routes the local-store save: 0 (the host) for plain
-    swapping; a target card's SCIF id for migration's direct path."""
-    snap = snapify_t(snapshot_path=snapshot_path, coiproc=coiproc,
-                     localstore_node=localstore_node)
+    swapping; a target card's SCIF id for migration's direct path.
+    ``parent`` optionally roots the operation's span tree under an enclosing
+    span (migration passes its own)."""
     sim = coiproc.sim
+    root = sim.trace.span("snapify.swapout", parent=parent,
+                          pid=coiproc.offload_proc.pid, path=snapshot_path,
+                          proc=coiproc.host_proc.name)
+    snap = snapify_t(snapshot_path=snapshot_path, coiproc=coiproc,
+                     localstore_node=localstore_node, span=root)
     t0 = sim.now
     yield from snapify_pause(snap)
     yield from snapify_capture(snap, terminate=True)
     yield from snapify_wait(snap)
     snap.timings["swapout_total"] = sim.now - t0
+    root.finish(elapsed=snap.timings["swapout_total"])
     return snap
 
 
-def snapify_swapin(snap: snapify_t, engine: COIEngine, host_proc: Optional[SimProcess] = None):
+def snapify_swapin(snap: snapify_t, engine: COIEngine, host_proc: Optional[SimProcess] = None,
+                   parent: Optional[object] = None):
     """Sub-generator: Fig. 6's swap-in — restore on ``engine`` and resume.
     Returns the new COIProcess handle."""
     sim = engine.sim
@@ -144,9 +161,13 @@ def snapify_swapin(snap: snapify_t, engine: COIEngine, host_proc: Optional[SimPr
         if snap.coiproc is None:
             raise ValueError("swapin needs a host process")
         host_proc = snap.coiproc.host_proc
+    root = sim.trace.span("snapify.swapin", parent=parent,
+                          device=engine.device_id, proc=host_proc.name)
+    snap.span = root
     new = yield from snapify_restore(snap, engine, host_proc)
     yield from snapify_resume(snap)
     snap.timings["swapin_total"] = sim.now - t0
+    root.finish(elapsed=snap.timings["swapin_total"])
     return new
 
 
@@ -161,12 +182,16 @@ def snapify_migration(coiproc: COIProcess, engine_to: COIEngine,
     swap in on ``engine_to``. Returns (new COIProcess, snapify_t)."""
     sim = coiproc.sim
     t0 = sim.now
+    root = sim.trace.span("snapify.migration", pid=coiproc.offload_proc.pid,
+                          device_to=engine_to.device_id, proc=coiproc.host_proc.name)
     # §7: "In process migration, the offload process copies its local store
     # directly from its current coprocessor to another coprocessor using
     # Snapify-IO. Thus the pause time in process migration is different."
     snap = yield from snapify_swapout(
-        snapshot_path, coiproc, localstore_node=engine_to.phi.scif_node_id
+        snapshot_path, coiproc, localstore_node=engine_to.phi.scif_node_id,
+        parent=root,
     )
-    new = yield from snapify_swapin(snap, engine_to)
+    new = yield from snapify_swapin(snap, engine_to, parent=root)
     snap.timings["migration_total"] = sim.now - t0
+    root.finish(elapsed=snap.timings["migration_total"])
     return new, snap

@@ -23,6 +23,7 @@ from typing import Any, List, Optional
 
 from ..hw.node import ServerNode
 from ..hw.params import SnapifyIOParams
+from ..obs.registry import MetricsRegistry
 from ..osim.process import OSInstance, SimProcess
 from ..osim.sockets import UnixSocket
 from ..scif.endpoint import ConnectionReset, ScifEndpoint, ScifNetwork
@@ -66,6 +67,9 @@ class SnapifyIODaemon:
         self.node: ServerNode = node
         self.net = ScifNetwork.of(node)
         self.connections_served = 0
+        reg = MetricsRegistry.of(self.sim)
+        self.m_conns = reg.counter(f"snapifyio.{os.name}.connections")
+        self.m_bytes = reg.counter(f"snapifyio.{os.name}.bytes_staged")
 
     # -- boot ------------------------------------------------------------------
     @staticmethod
@@ -130,14 +134,19 @@ class SnapifyIODaemon:
     # -- local handler: user process <-> this daemon <-> remote daemon ---------------
     def _local_handler(self, sock: UnixSocket):
         self.connections_served += 1
+        self.m_conns.inc()
         header = yield from sock.read()
         if not isinstance(header, dict) or "path" not in header:
             raise SnapifyIOError(f"bad open header: {header!r}")
         node_id, path, mode = header["node"], header["path"], header["mode"]
+        sp = self.sim.trace.span("snapifyio.local", parent=header.get("span", 0),
+                                 node=node_id, path=path, mode=mode,
+                                 proc=self.proc.name)
         ep = yield from self.net.connect(self.os, node_id, SNAPIFY_IO_PORT,
                                          proc=self.proc)
         try:
-            yield from ep.send({"path": path, "mode": mode})
+            yield from ep.send({"path": path, "mode": mode,
+                                "span": header.get("span", 0)})
             # Register the staging buffer for RDMA and tell the peer.
             offset = yield from scif_register(ep, self.params.buffer_size)
             yield from ep.send({"offset": offset})
@@ -148,6 +157,7 @@ class SnapifyIODaemon:
         finally:
             ep.close()
             sock.close()
+            sp.finish()
 
     def _local_write_loop(self, sock: UnixSocket, ep: ScifEndpoint):
         """Socket -> staging buffer -> (remote pulls via RDMA) -> remote file."""
@@ -172,6 +182,7 @@ class SnapifyIODaemon:
                     yield from flush()
                 # Copy from the socket into the staging buffer.
                 yield self.sim.timeout(nbytes / self.os.sockets.default_bandwidth)
+                self.m_bytes.inc(nbytes)
                 filled += nbytes
                 if record is not None:
                     records.append(record)
@@ -201,6 +212,7 @@ class SnapifyIODaemon:
             try:
                 # Copy staging buffer -> socket; the record batch rides along.
                 yield from sock.write(msg["n"], record=msg["records"])
+                self.m_bytes.inc(msg["n"])
             except Exception:
                 return  # user closed early
             # Only now is the staging buffer reusable: read mode cannot
@@ -216,10 +228,15 @@ class SnapifyIODaemon:
             return
         path, mode = header["path"], header["mode"]
         peer_offset = offset_msg["offset"]
-        if mode == "w":
-            yield from self._remote_write(ep, path, peer_offset)
-        else:
-            yield from self._remote_read(ep, path, peer_offset)
+        sp = self.sim.trace.span("snapifyio.remote", parent=header.get("span", 0),
+                                 path=path, mode=mode, proc=self.proc.name)
+        try:
+            if mode == "w":
+                yield from self._remote_write(ep, path, peer_offset)
+            else:
+                yield from self._remote_read(ep, path, peer_offset)
+        finally:
+            sp.finish()
 
     def _remote_write(self, ep: ScifEndpoint, path: str, peer_offset: int):
         self.os.fs.create(path)

@@ -97,18 +97,22 @@ def snapifyio_open(
     path: str,
     mode: str,
     proc: Optional[SimProcess] = None,
+    span: int = 0,
 ):
     """Sub-generator: open ``path`` on SCIF node ``node``; returns the FD.
 
     ``mode`` is ``"r"`` or ``"w"`` (never both, as in the paper). ``node``
-    uses SCIF numbering: 0 is the host, 1.. are coprocessors.
+    uses SCIF numbering: 0 is the host, 1.. are coprocessors. ``span`` is
+    the caller's span id; the daemons parent their transfer spans on it so
+    the double-daemon pipeline joins the caller's causal tree.
     """
     if mode not in ("r", "w"):
         raise SnapifyIOError(f"mode must be 'r' or 'w', got {mode!r}")
     daemon = SnapifyIODaemon.of(os)
     yield os.sim.timeout(daemon.params.connect_latency)
     sock = yield from os.sockets.connect(SOCKET_ADDR)
-    yield from sock.write(64, record={"node": node, "path": path, "mode": mode})
+    yield from sock.write(64, record={"node": node, "path": path, "mode": mode,
+                                      "span": span})
     fd = SnapifyIOFile(os, sock, mode, daemon.params.buffer_size)
     if proc is not None:
         proc.register_fd(fd)

@@ -111,7 +111,6 @@ def test_migrate_to_same_device_is_legal():
 
 def test_snapify_operations_are_traced():
     server = XeonPhiServer()
-    server.sim.trace.enabled = True
     app = make_app(server, iterations=30)
 
     def driver(sim):
@@ -121,7 +120,8 @@ def test_snapify_operations_are_traced():
         yield done
         yield app.host_proc.main_thread.done
 
-    server.run(driver(server.sim))
+    with server.sim.trace.capture():
+        server.run(driver(server.sim))
     trace = server.sim.trace
     assert trace.find("snapify.pause")
     captures = trace.find("snapify.capture", terminate=True)
