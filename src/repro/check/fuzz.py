@@ -1,0 +1,113 @@
+"""The fuzz driver: sweep seeds × scenarios × fault plans, check oracles.
+
+The sweep itself is deterministic: the fault plan for a given (scenario,
+seed) pair is a fixed function of the pair, so a fuzz campaign is fully
+described by its scenario list and seed range — and any failure it finds is
+already a replayable triple (see :mod:`repro.check.artifact`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .artifact import ReproArtifact
+from .scenarios import RunResult, run_scenario, scenario_names
+
+#: Scenarios that only ever touch card 0, leaving card 1 free to fail.
+_SPARE_CARD_SCENARIOS = ("checkpoint", "restart", "swap")
+
+
+def default_faults(scenario: str, seed: int) -> List[Dict[str, Any]]:
+    """The deterministic per-(scenario, seed) fault plan of the default sweep.
+
+    Every third seed runs fault-free; the rest fail the *spare* card (the
+    one the workload does not use) mid-run — with and without a repair — to
+    prove an unrelated card failure never perturbs a protocol in flight.
+    Scenarios that use both cards (migrate) and the phase-injection
+    scenarios (checkpoint_fault:*) carry their fault in the scenario itself.
+    """
+    base = scenario.partition(":")[0]
+    if base not in _SPARE_CARD_SCENARIOS:
+        return []
+    variant = seed % 3
+    if variant == 0:
+        return []
+    fault: Dict[str, Any] = {"device": 1, "at": 0.4 + 0.05 * (seed % 7)}
+    if variant == 2:
+        fault["warning_lead"] = 0.1
+        fault["repair_after"] = 0.5
+    return [fault]
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    runs: List[RunResult] = field(default_factory=list)
+    artifact_paths: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[RunResult]:
+        return [r for r in self.runs if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {len(self.runs)} runs, "
+            f"{len(self.runs) - len(self.failures)} ok, {len(self.failures)} failed"
+        ]
+        for r in self.failures:
+            lines.append(f"  FAIL {r.summary()}")
+        for p in self.artifact_paths:
+            lines.append(f"  artifact: {p}")
+        return "\n".join(lines)
+
+
+def fuzz(
+    scenarios: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = range(10),
+    *,
+    faults_for: Callable[[str, int], List[Dict[str, Any]]] = default_faults,
+    artifact_dir: Optional[str] = None,
+    fail_fast: bool = False,
+    progress: Optional[Callable[[RunResult], None]] = None,
+) -> FuzzReport:
+    """Sweep every scenario under every seed; oracle-check each run.
+
+    Failures (oracle violations, deadlocks, crashes) are collected in the
+    report; with ``artifact_dir``, each failure also writes a repro
+    artifact. ``progress`` is called after every run (the CLI uses it for
+    live output).
+    """
+    if scenarios is None:
+        scenarios = scenario_names()
+    report = FuzzReport()
+    for scenario in scenarios:
+        for seed in seeds:
+            result = run_scenario(scenario, seed=seed, faults=faults_for(scenario, seed))
+            report.runs.append(result)
+            if progress is not None:
+                progress(result)
+            if not result.ok:
+                if artifact_dir is not None:
+                    art = ReproArtifact.from_result(result)
+                    os.makedirs(artifact_dir, exist_ok=True)
+                    path = os.path.join(artifact_dir, art.filename())
+                    report.artifact_paths.append(art.save(path))
+                if fail_fast:
+                    return report
+    return report
+
+
+def replay_artifact(path: str, *, capture_trace: bool = False) -> Tuple[ReproArtifact, RunResult]:
+    """Re-run the exact (scenario, seed, faults) triple an artifact records."""
+    art = ReproArtifact.load(path)
+    result = run_scenario(
+        art.scenario, seed=art.seed, faults=art.faults, capture_trace=capture_trace
+    )
+    return art, result

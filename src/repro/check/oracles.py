@@ -1,0 +1,254 @@
+"""Invariant oracles: conservation properties checked after every run.
+
+Each oracle takes a quiesced :class:`~repro.testbed.XeonPhiServer` and
+returns a list of :class:`Violation` (empty = invariant holds). Oracles are
+deliberately *schedule-independent*: they assert what must be true at
+quiescence no matter which legal interleaving got us there, which is what
+makes them usable as fuzzing oracles (see :mod:`repro.check.fuzz`).
+
+The properties come straight from the protocol's obligations (PAPER.md
+§4–5): pause drains without losing messages, capture stages through
+Snapify-IO and releases the staging copy, resume un-pauses everything it
+paused, and the per-daemon monitor thread exists only while requests are
+in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..testbed import XeonPhiServer
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which oracle, and what it saw."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+def _pools(server: "XeonPhiServer"):
+    """(label, memory, os) for the host and every card."""
+    yield "host", server.node.memory, server.host_os
+    for i, phi in enumerate(server.node.phis):
+        yield f"mic{i}", phi.memory, phi.os
+
+
+def memory_accounting(server: "XeonPhiServer") -> List[Violation]:
+    """Every memory pool balances: used == sum of categories, within capacity.
+
+    Catches double-frees, leaked allocations, and accounting drift between a
+    pool's total and its per-category ledger.
+    """
+    out: List[Violation] = []
+    for label, mem, _os in _pools(server):
+        cat_sum = sum(mem.by_category.values())
+        if mem.used != cat_sum:
+            out.append(Violation(
+                "memory_accounting",
+                f"{label}: used={mem.used} but categories sum to {cat_sum} "
+                f"({dict(mem.by_category)})",
+            ))
+        if not 0 <= mem.used <= mem.capacity:
+            out.append(Violation(
+                "memory_accounting",
+                f"{label}: used={mem.used} outside [0, capacity={mem.capacity}]",
+            ))
+        for cat, held in mem.by_category.items():
+            if held < 0:
+                out.append(Violation(
+                    "memory_accounting", f"{label}: category {cat!r} negative ({held})"
+                ))
+    return out
+
+
+def process_accounting(server: "XeonPhiServer") -> List[Violation]:
+    """The 'process' category equals the live processes' mapped footprint.
+
+    A mismatch means a terminated process leaked regions (or a live one was
+    double-unmapped) — exactly the bug class restore/kill races produce.
+    """
+    out: List[Violation] = []
+    for label, mem, os in _pools(server):
+        live = sum(p.memory_footprint for p in os.processes.values())
+        held = mem.by_category.get("process", 0)
+        if live != held:
+            out.append(Violation(
+                "process_accounting",
+                f"{label}: live process footprint {live} != accounted {held}",
+            ))
+    return out
+
+
+def ramfs_accounting(server: "XeonPhiServer") -> List[Violation]:
+    """Card RAM-FS bytes equal the 'ramfs' memory category.
+
+    The RAM disk's files ARE physical card memory (§3), so the file system's
+    ledger and the memory pool's ledger must agree byte-for-byte.
+    """
+    out: List[Violation] = []
+    for i, phi in enumerate(server.node.phis):
+        fs_bytes = phi.os.fs.total_bytes()
+        held = phi.memory.by_category.get("ramfs", 0)
+        if fs_bytes != held:
+            out.append(Violation(
+                "ramfs_accounting",
+                f"mic{i}: ramfs files hold {fs_bytes} bytes but memory "
+                f"accounts {held}",
+            ))
+    return out
+
+
+def scif_conservation(server: "XeonPhiServer") -> List[Violation]:
+    """No SCIF message is lost or duplicated across drain.
+
+    For every *open* endpoint at quiescence: nothing may still be queued
+    (pause promised to drain), and the receive channel's counters must
+    balance — sent == received + queued. Closed endpoints are exempt:
+    close() legally discards in-flight messages (the peer observes
+    ``ConnectionReset`` instead).
+    """
+    from ..scif.endpoint import ScifNetwork
+
+    out: List[Violation] = []
+    net = ScifNetwork.of(server.node)
+    for ep in net.endpoints:
+        if ep.closed:
+            continue
+        rx = ep._rx
+        if rx.sent_count != rx.received_count + rx.qsize:
+            out.append(Violation(
+                "scif_conservation",
+                f"ep{ep.eid}: sent={rx.sent_count} != "
+                f"received={rx.received_count} + queued={rx.qsize}",
+            ))
+        if ep.pending:
+            out.append(Violation(
+                "scif_conservation",
+                f"ep{ep.eid}: {ep.pending} message(s) still queued at quiescence",
+            ))
+    return out
+
+
+def nothing_left_paused(server: "XeonPhiServer") -> List[Violation]:
+    """Every paused process was resumed or deliberately killed.
+
+    Walks all live processes on every OS: a host-side :class:`COIProcess`
+    handle or a card-side :class:`CardRuntime` still flagged ``paused`` at
+    quiescence means a pause leaked past its resume.
+    """
+    out: List[Violation] = []
+    for label, _mem, os in _pools(server):
+        for proc in os.processes.values():
+            handle = proc.runtime.get("coi_handle")
+            if handle is not None and getattr(handle, "paused", False):
+                out.append(Violation(
+                    "nothing_left_paused",
+                    f"{label}: host handle for {proc.name!r} still paused",
+                ))
+            card = proc.runtime.get("coi")
+            if card is not None and getattr(card, "paused", False):
+                out.append(Violation(
+                    "nothing_left_paused",
+                    f"{label}: card runtime of {proc.name!r} still paused",
+                ))
+    return out
+
+
+def monitor_quiescent(server: "XeonPhiServer") -> List[Violation]:
+    """Monitor threads exist only while requests are active (§4.2).
+
+    At quiescence every live COI daemon must have an empty active-request
+    table and no monitor thread. Daemons whose process died (card failure)
+    are exempt — their flags died with them.
+    """
+    out: List[Violation] = []
+    for daemon in server.coi_daemons:
+        proc = daemon.proc
+        if proc is None or proc.pid not in proc.os.processes:
+            continue  # daemon died with its card
+        svc = daemon.runtime.get("snapify")
+        if svc is None:
+            continue
+        if svc.active:
+            out.append(Violation(
+                "monitor_quiescent",
+                f"{proc.name}: {len(svc.active)} request(s) still active "
+                f"(pids {sorted(svc.active)})",
+            ))
+        if svc.monitor_running:
+            out.append(Violation(
+                "monitor_quiescent", f"{proc.name}: monitor thread still running"
+            ))
+    return out
+
+
+def staging_drained(server: "XeonPhiServer") -> List[Violation]:
+    """Snapify-IO staging copies on the cards are released.
+
+    Local stores staged on a card's RAM-FS (migration's direct path) are
+    transient: once the buffers are recreated on the target, the staging
+    file must be unlinked or it permanently eats card memory. Host-side
+    snapshot files are durable by design and not checked here.
+    """
+    out: List[Violation] = []
+    for i, phi in enumerate(server.node.phis):
+        stale = [p for p in phi.os.fs.listdir("/") if p.endswith("/localstore")]
+        if stale:
+            out.append(Violation(
+                "staging_drained", f"mic{i}: staging file(s) not released: {stale}"
+            ))
+    return out
+
+
+def no_crashed_threads(server: "XeonPhiServer") -> List[Violation]:
+    """No simulated thread died with an unhandled infrastructure exception.
+
+    Threads may legitimately die with the *documented* error surface —
+    teardown (:class:`ThreadKilled`), torn-down waits (:class:`Interrupted`),
+    and the protocol's own error types (SCIF resets, Snapify/COI failure
+    reports) that fault injection is supposed to produce. Anything else — a
+    KeyError in a protocol handler, a failed internal invariant — is a bug
+    the schedule exposed.
+    """
+    from ..coi.services import COIError
+    from ..scif.endpoint import ScifError
+    from ..sim.errors import Interrupted, ThreadKilled
+    from ..snapify.monitor import SnapifyError
+
+    benign = (ThreadKilled, Interrupted, ScifError, SnapifyError, COIError)
+    out: List[Violation] = []
+    for thread, exc in server.sim.failed_threads():
+        if isinstance(exc, benign):
+            continue
+        out.append(Violation(
+            "no_crashed_threads", f"thread {thread.name!r} died: {exc!r}"
+        ))
+    return out
+
+
+#: All oracles, in check order. ``check_all`` runs every one of these.
+ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
+    memory_accounting,
+    process_accounting,
+    ramfs_accounting,
+    scif_conservation,
+    nothing_left_paused,
+    monitor_quiescent,
+    staging_drained,
+    no_crashed_threads,
+]
+
+
+def check_all(server: "XeonPhiServer") -> List[Violation]:
+    """Run every oracle against a quiesced server; return all violations."""
+    out: List[Violation] = []
+    for oracle in ORACLES:
+        out.extend(oracle(server))
+    return out

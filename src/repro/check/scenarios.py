@@ -1,0 +1,306 @@
+"""Fuzzable end-to-end scenarios: one (seed, faults) triple → one run.
+
+Each scenario boots a fresh :class:`~repro.testbed.XeonPhiServer` on a
+kernel seeded with ``schedule_seed``, drives one of the paper's use cases
+(checkpoint, restart-after-failure, swap cycle, migration, or a checkpoint
+with a card failure at a chosen phase boundary), quiesces, and checks every
+invariant oracle. The whole run is a pure function of
+``(scenario, seed, faults)`` — the replay guarantee the fuzzer's repro
+artifacts rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from ..coi.services import COIError
+from ..hw.memory import MemoryExhausted
+from ..scif.endpoint import ConnectionReset, ScifError
+from ..sched.faults import FaultInjector
+from ..sim.errors import DeadlockError, Interrupted, ThreadKilled
+from ..sim.kernel import Simulator
+from ..snapify import (
+    MIGRATE,
+    SWAP_IN,
+    SWAP_OUT,
+    SnapifyError,
+    checkpoint_offload_app,
+    restart_offload_app,
+    snapify_capture,
+    snapify_command,
+    snapify_pause,
+    snapify_resume,
+    snapify_t,
+    snapify_wait,
+)
+from ..testbed import XeonPhiServer
+from .oracles import Violation, check_all
+
+#: Errors a faulted run may legitimately surface instead of completing:
+#: the protocol's documented failure reports, not crashes.
+CLEAN_ERRORS = (SnapifyError, COIError, ScifError, ConnectionReset, MemoryExhausted)
+
+#: Phase boundaries at which ``checkpoint_fault`` injects the card failure.
+CHECKPOINT_FAULT_PHASES = (
+    "before_pause",
+    "after_pause",
+    "after_capture",
+    "after_wait",
+    "after_resume",
+)
+
+ITERATIONS = 8
+_GRACE = 5.0  # simulated seconds a faulted app may take to surface its error
+
+
+@dataclass
+class RunResult:
+    """Everything the fuzzer (and a repro artifact) needs about one run."""
+
+    scenario: str
+    seed: Optional[int]
+    faults: Tuple[Dict[str, Any], ...]
+    ok: bool
+    outcome: str  # completed | faulted | clean_error | deadlock | crash
+    violations: List[Violation] = field(default_factory=list)
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    final_time: float = 0.0
+    waitfor: List[Dict[str, Any]] = field(default_factory=list)
+    trace_digest: Optional[str] = None
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "FAIL"
+        bits = [f"{self.scenario} seed={self.seed}: {verdict} ({self.outcome})"]
+        if self.error:
+            bits.append(f"error={self.error}")
+        bits.extend(str(v) for v in self.violations)
+        return "; ".join(bits)
+
+
+def _mk_app(server: XeonPhiServer, name: str = "fuzzapp") -> OffloadApplication:
+    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=ITERATIONS)
+    return OffloadApplication(server, profile, iterations=ITERATIONS, name=name)
+
+
+def _verify_violation(app: OffloadApplication) -> List[Violation]:
+    if app.verify():
+        return []
+    return [Violation("result_correct", "application checksum mismatch after run")]
+
+
+# ---------------------------------------------------------------------------
+# Scenario drivers — generators run in the simulated host context.
+# Each returns {"outcome": ..., "violations": [...]}.
+# ---------------------------------------------------------------------------
+
+
+def _checkpoint(server, app, injector, phase, faults):
+    sim = server.sim
+    yield from app.launch()
+    yield sim.timeout(0.3)
+    snap = snapify_t("/fz/ckpt", coiproc=app.coiproc)
+    yield from checkpoint_offload_app(snap)
+    yield app.host_proc.main_thread.done
+    return {"outcome": "completed", "violations": _verify_violation(app)}
+
+
+def _restart(server, app, injector, phase, faults):
+    sim = server.sim
+    yield from app.launch()
+    yield sim.timeout(0.3)
+    snap = snapify_t("/fz/restart", coiproc=app.coiproc)
+    yield from checkpoint_offload_app(snap)
+    yield sim.timeout(0.05)
+    app.host_proc.terminate(code=1)
+    yield sim.timeout(0.05)
+    result = yield from restart_offload_app(server.host_os, "/fz/restart", server.engine(0))
+    yield result.host_proc.main_thread.done
+    store = result.host_proc.store
+    bad = []
+    if store.get("checksum") != expected_checksum(ITERATIONS):
+        bad.append(Violation("result_correct", "restarted run produced wrong checksum"))
+    return {"outcome": "completed", "violations": bad}
+
+
+def _swap(server, app, injector, phase, faults):
+    sim = server.sim
+    yield from app.launch()
+    yield sim.timeout(0.3)
+    yield snapify_command(app.host_proc, SWAP_OUT, snapshot_path="/fz/swap")
+    yield sim.timeout(0.2)
+    yield snapify_command(app.host_proc, SWAP_IN, engine=server.engine(0))
+    yield app.host_proc.main_thread.done
+    return {"outcome": "completed", "violations": _verify_violation(app)}
+
+
+def _migrate(server, app, injector, phase, faults):
+    sim = server.sim
+    yield from app.launch()
+    yield sim.timeout(0.3)
+    yield snapify_command(app.host_proc, MIGRATE, engine=server.engine(1))
+    yield app.host_proc.main_thread.done
+    return {"outcome": "completed", "violations": _verify_violation(app)}
+
+
+def _checkpoint_fault(server, app, injector, phase, faults):
+    """Checkpoint with the card failing at one exact phase boundary.
+
+    The acceptable outcomes are: the checkpoint completes anyway (failure
+    landed after the critical phase), or a clean documented error surfaces
+    and the app is deliberately killed. A hang or an internal crash is a
+    protocol bug.
+    """
+    if phase not in CHECKPOINT_FAULT_PHASES:
+        raise ValueError(f"unknown checkpoint_fault phase {phase!r}")
+    sim = server.sim
+    yield from app.launch()
+    yield sim.timeout(0.3)
+    phi = server.node.phis[0]
+    snap = snapify_t("/fz/ckptf", coiproc=app.coiproc)
+    try:
+        if phase == "before_pause":
+            injector.fail_now(phi)
+        yield from snapify_pause(snap)
+        if phase == "after_pause":
+            injector.fail_now(phi)
+        yield from snapify_capture(snap, terminate=False)
+        if phase == "after_capture":
+            injector.fail_now(phi)
+        yield from snapify_wait(snap)
+        if phase == "after_wait":
+            injector.fail_now(phi)
+        yield from snapify_resume(snap)
+        if phase == "after_resume":
+            injector.fail_now(phi)
+    except CLEAN_ERRORS as exc:
+        app.host_proc.terminate(code=1)
+        return {"outcome": "faulted", "error": repr(exc), "violations": []}
+    # The protocol survived the injection point; the app itself may still
+    # have lost its card. Give it a bounded grace window, then kill.
+    try:
+        yield sim.any_of([app.host_proc.main_thread.done, sim.timeout(_GRACE)])
+    except (CLEAN_ERRORS + (Interrupted, ThreadKilled)) as exc:
+        app.host_proc.terminate(code=1)
+        return {"outcome": "faulted", "error": repr(exc), "violations": []}
+    if not app.host_proc.main_thread.done.triggered:
+        app.host_proc.terminate(code=1)
+        return {"outcome": "faulted", "error": "app stalled after fault; killed",
+                "violations": []}
+    if app.host_proc.main_thread.done.ok:
+        return {"outcome": "completed", "violations": _verify_violation(app)}
+    return {"outcome": "faulted", "violations": []}
+
+
+SCENARIOS = {
+    "checkpoint": _checkpoint,
+    "restart": _restart,
+    "swap": _swap,
+    "migrate": _migrate,
+    "checkpoint_fault": _checkpoint_fault,
+}
+
+
+def scenario_names() -> List[str]:
+    """All runnable names, with checkpoint_fault expanded per phase."""
+    names = [n for n in SCENARIOS if n != "checkpoint_fault"]
+    names.extend(f"checkpoint_fault:{p}" for p in CHECKPOINT_FAULT_PHASES)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+def _trace_digest(sim: Simulator) -> str:
+    """Digest of the full event trace + final clock: byte-identical replay
+    of a (seed, scenario, faults) triple means byte-identical digests."""
+    h = hashlib.sha256()
+    for rec in sim.trace.records:
+        h.update(repr(rec).encode())
+        h.update(b"\n")
+    h.update(f"t={sim.now!r}".encode())
+    return h.hexdigest()
+
+
+def normalize_faults(faults: Sequence[Dict[str, Any]]) -> Tuple[Dict[str, Any], ...]:
+    """Canonical, JSON-stable form of a fault plan."""
+    return tuple({k: f[k] for k in sorted(f)} for f in faults)
+
+
+def run_scenario(
+    name: str,
+    seed: Optional[int] = None,
+    faults: Sequence[Dict[str, Any]] = (),
+    *,
+    capture_trace: bool = False,
+) -> RunResult:
+    """Run one scenario under one schedule seed and fault plan.
+
+    ``name`` is a scenario key, optionally ``checkpoint_fault:<phase>``.
+    ``faults`` entries are dicts: ``{"device", "at"}`` plus optional
+    ``"warning_lead"`` / ``"repair_after"`` schedule a timed card failure
+    through :class:`FaultInjector`; entries with ``"phase"`` select the
+    injection boundary of the ``checkpoint_fault`` scenario.
+    """
+    base, _, phase = name.partition(":")
+    try:
+        builder = SCENARIOS[base]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r} (have {sorted(SCENARIOS)})") from None
+    faults = normalize_faults(faults)
+    sim = Simulator(schedule_seed=seed, trace=capture_trace)
+    server = XeonPhiServer(sim=sim)
+    injector = FaultInjector(sim)
+    app = _mk_app(server)
+    phase = phase or next((f["phase"] for f in faults if "phase" in f), None)
+    for f in faults:
+        if "phase" in f:
+            continue
+        # Fault times are offsets after testbed boot (boot itself consumes
+        # simulated time, deterministically per seed).
+        injector.schedule_card_failure(
+            server.node.phis[f["device"]],
+            at=sim.now + f["at"],
+            warning_lead=f.get("warning_lead"),
+            repair_after=f.get("repair_after"),
+        )
+
+    outcome = "crash"
+    error = error_type = None
+    waitfor: List[Dict[str, Any]] = []
+    extra: List[Violation] = []
+    try:
+        result = server.run(builder(server, app, injector, phase, faults),
+                            name=f"fuzz:{name}")
+        outcome = result.get("outcome", "completed")
+        error = result.get("error")
+        extra = result.get("violations", [])
+        sim.run(check_deadlock=True)  # settle: daemons drain, monitors exit
+    except DeadlockError as exc:
+        outcome, error, error_type = "deadlock", str(exc), "DeadlockError"
+        waitfor = exc.waitfor or sim.wait_for_graph()
+    except CLEAN_ERRORS as exc:
+        outcome, error, error_type = "clean_error", repr(exc), type(exc).__name__
+    except Exception as exc:  # noqa: BLE001 - fuzzing boundary
+        outcome, error, error_type = "crash", repr(exc), type(exc).__name__
+
+    violations = extra + check_all(server)
+    ok = not violations and outcome in ("completed", "faulted", "clean_error")
+    return RunResult(
+        scenario=name,
+        seed=seed,
+        faults=faults,
+        ok=ok,
+        outcome=outcome,
+        violations=violations,
+        error=error,
+        error_type=error_type,
+        final_time=sim.now,
+        waitfor=waitfor,
+        trace_digest=_trace_digest(sim) if capture_trace else None,
+    )

@@ -1,4 +1,4 @@
-"""The ``snapify`` command-line front end (``snapify trace``).
+"""The ``snapify`` command-line front end (``snapify trace``, ``snapify fuzz``).
 
 ``snapify trace`` runs a fully traced Snapify operation on the simulated
 testbed and turns the span tree into the paper's Figure 9/10-style phase
@@ -8,6 +8,15 @@ JSON (loadable in Perfetto / ``chrome://tracing``):
     snapify trace                              # swap-out + swap-in breakdown
     snapify trace --scenario checkpoint        # Fig. 5 checkpoint path
     snapify trace --scenario migrate --json trace.json
+
+``snapify fuzz`` sweeps the protocol scenarios across perturbed schedules
+and fault plans, checking every invariant oracle (see :mod:`repro.check`),
+and replays failure artifacts:
+
+    snapify fuzz --seeds 50                    # all scenarios x 50 seeds
+    snapify fuzz --scenario migrate --seeds 10
+    snapify fuzz --seeds 200 --artifact-dir fuzz_artifacts
+    snapify fuzz --replay fuzz_artifacts/repro_migrate_seed7.json
 
 Also reachable without installation as ``python -m repro.snapify trace``.
 """
@@ -130,6 +139,51 @@ def trace_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def fuzz_command(args: argparse.Namespace) -> int:
+    from ..check import fuzz, replay_artifact
+    from ..check.scenarios import scenario_names
+
+    if args.replay:
+        art, result = replay_artifact(args.replay)
+        print(f"replaying {art.scenario} seed={art.seed} faults={list(art.faults)}")
+        print(result.summary())
+        if result.waitfor:
+            print("wait-for graph:")
+            for edge in result.waitfor:
+                print(f"  {edge['thread']} -> {edge['event']!r} (owner: {edge['owner']})")
+        if result.ok:
+            print("replay did NOT reproduce a failure (run is clean)")
+            return 0
+        return 1
+
+    names = scenario_names()
+    if args.scenario:
+        matching = [n for n in names if n == args.scenario or
+                    n.startswith(args.scenario + ":")]
+        if not matching:
+            print(f"unknown scenario {args.scenario!r} (have {names})", file=sys.stderr)
+            return 2
+        names = matching
+
+    def progress(result):
+        if args.verbose or not result.ok:
+            print(result.summary())
+
+    report = fuzz(
+        scenarios=names,
+        seeds=range(args.seeds),
+        artifact_dir=args.artifact_dir,
+        fail_fast=args.fail_fast,
+        progress=progress,
+    )
+    print(report.summary())
+    if not report.ok and report.artifact_paths:
+        print("replay a failure with:")
+        print(f"  PYTHONPATH=src python -m repro.obs.cli fuzz --replay "
+              f"{report.artifact_paths[0]}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="snapify", description="Snapify reproduction command-line tools"
@@ -152,6 +206,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="simulated seconds between metric samples "
                          "(0 disables counter tracks; default 0.01)")
     tr.set_defaults(fn=trace_command)
+    fz = sub.add_parser(
+        "fuzz",
+        help="sweep protocol scenarios across perturbed schedules and check "
+             "invariant oracles",
+    )
+    fz.add_argument("--seeds", type=int, default=10,
+                    help="schedule seeds per scenario: 0..N-1 (default 10)")
+    fz.add_argument("--scenario", default=None,
+                    help="restrict to one scenario (e.g. migrate, "
+                         "checkpoint_fault); default: all")
+    fz.add_argument("--artifact-dir", default=None, metavar="DIR",
+                    help="write a repro artifact per failure into DIR")
+    fz.add_argument("--replay", default=None, metavar="ARTIFACT",
+                    help="replay a failure artifact instead of sweeping")
+    fz.add_argument("--fail-fast", action="store_true",
+                    help="stop at the first failing run")
+    fz.add_argument("--verbose", action="store_true",
+                    help="print every run, not just failures")
+    fz.set_defaults(fn=fuzz_command)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -24,7 +24,26 @@ class FaultInjector:
         self.sim = sim
         self.failed: List[PhiDevice] = []
         #: Subscribers to degradation telemetry: fn(device, time_to_failure).
+        #: Dispatch order is subscription order over a snapshot taken when
+        #: the warning fires — subscribers added or removed *during* dispatch
+        #: take effect only for the next warning. This keeps telemetry
+        #: ordering identical across perturbed schedules (the seeded kernel
+        #: may reorder the threads that subscribe at equal times, but each
+        #: warning still walks one frozen, append-ordered list).
         self.telemetry: List[Callable[[PhiDevice, float], None]] = []
+
+    # -- telemetry subscription --------------------------------------------
+    def subscribe(self, fn: Callable[[PhiDevice, float], None]) -> Callable:
+        """Register a degradation-telemetry subscriber; returns ``fn``."""
+        self.telemetry.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[PhiDevice, float], None]) -> None:
+        """Remove a subscriber; a no-op if it was never registered."""
+        try:
+            self.telemetry.remove(fn)
+        except ValueError:
+            pass
 
     def schedule_card_failure(
         self,
@@ -56,8 +75,24 @@ class FaultInjector:
         return failed_ev
 
     def _warn(self, phi: PhiDevice, time_to_failure: float) -> None:
-        for subscriber in list(self.telemetry):
+        # Snapshot before dispatch: a subscriber that subscribes (or
+        # unsubscribes) others mid-warning must not change THIS warning's
+        # fan-out, or telemetry ordering would depend on list mutation
+        # timing and break seeded-schedule replay.
+        snapshot = tuple(self.telemetry)
+        for subscriber in snapshot:
             subscriber(phi, time_to_failure)
+
+    def fail_now(self, phi: PhiDevice) -> Event:
+        """Fail ``phi`` immediately (synchronously, at the current time).
+
+        Unlike :meth:`schedule_card_failure`, the kill happens before this
+        call returns — the hook the fuzzer uses to inject a failure at an
+        exact protocol phase boundary rather than at a wall-clock offset.
+        """
+        ev = Event(self.sim, name=f"fault:{phi!r}")
+        self._fail(phi, ev)
+        return ev
 
     def _fail(self, phi: PhiDevice, ev: Event) -> None:
         if phi in self.failed:

@@ -167,14 +167,19 @@ class ScifListener:
 class ScifEndpoint:
     """One end of a SCIF connection."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, sim: "Simulator", os: "OSInstance", port: int,
                  proc: Optional["SimProcess"] = None):
         self.sim = sim
         self.os = os
         self.port = port
-        self.eid = next(ScifEndpoint._ids)
+        # Endpoint ids are per-simulator, like thread ids: a process-global
+        # counter would make eids (and every ep-derived event name and error
+        # message) depend on how many simulators ran earlier, breaking
+        # byte-identical replay of fuzz runs.
+        ids = getattr(sim, "_scif_eids", None)
+        if ids is None:
+            ids = sim._scif_eids = itertools.count(1)
+        self.eid = next(ids)
         self.proc = proc
         self.peer: Optional["ScifEndpoint"] = None
         self._rx = Channel(sim, name=f"scif.ep{self.eid}.rx")

@@ -30,8 +30,40 @@ class ThreadKilled(SimError):
     """Raised inside a thread generator when its process is being destroyed."""
 
 
+def render_waitfor(waitfor) -> str:
+    """Render a wait-for graph (list of edge dicts) as an indented dump.
+
+    Each edge is ``{"thread", "tid", "daemon", "event", "owner"}`` as produced
+    by :meth:`repro.sim.kernel.Simulator.wait_for_graph`. The format is pinned
+    by ``tests/test_waitfor_graph.py``; keep the two in sync.
+    """
+    if not waitfor:
+        return "  (no blocked threads)"
+    lines = []
+    for edge in waitfor:
+        mark = " [daemon]" if edge.get("daemon") else ""
+        owner = edge.get("owner")
+        held = f" held by {owner}" if owner else ""
+        lines.append(
+            f"  {edge['thread']} (tid={edge['tid']}){mark}"
+            f" -> waiting on {edge['event']!r}{held}"
+        )
+    return "\n".join(lines)
+
+
 class DeadlockError(SimError):
-    """The event heap ran dry while live threads were still blocked."""
+    """The event heap ran dry while live threads were still blocked.
+
+    Carries the wait-for graph at the moment of the deadlock in ``waitfor``
+    (a list of thread → blocking-event → owner edges); the graph is rendered
+    into the message so a bare traceback already names the lock holders.
+    """
+
+    def __init__(self, message: str, waitfor=None):
+        if waitfor:
+            message = f"{message}\nwait-for graph:\n{render_waitfor(waitfor)}"
+        super().__init__(message)
+        self.waitfor = list(waitfor) if waitfor else []
 
 
 class SimTimeLimit(SimError):

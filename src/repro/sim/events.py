@@ -62,6 +62,12 @@ class Event:
 
     __slots__ = ("sim", "name", "_state", "_value", "_exc", "_callbacks")
 
+    #: Wait-for-graph hook: subclasses that gate a shared resource (e.g. the
+    #: mutex-acquire event in :mod:`repro.sim.sync`) override this with a
+    #: property describing the current holder. ``Simulator.wait_for_graph``
+    #: reads it to label deadlock edges; plain events have no owner.
+    owner_info: Optional[str] = None
+
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name

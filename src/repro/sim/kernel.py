@@ -31,19 +31,47 @@ Thread IDs are drawn from a **per-simulator** counter (``Simulator._tids``),
 so the interleaving — and any trace output derived from thread names — of a
 given workload does not depend on how many simulators ran earlier in the
 process.
+
+Schedule exploration
+--------------------
+``Simulator(schedule_seed=N)`` turns the tie-break counter into a seeded
+*perturbed* key stream: entries that collide at the same simulated time are
+popped in a pseudo-random (but fully deterministic and replayable) order
+instead of insertion order. Every perturbed schedule is still a legal
+execution — time ordering is untouched; only the order of semantically
+concurrent wakeups changes — which is what the :mod:`repro.check` fuzzer
+sweeps to hunt protocol races. ``schedule_seed=None`` (the default) keeps
+the plain counter and is byte-identical to the unseeded kernel, as the
+golden-trace test proves.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from .errors import DeadlockError, Interrupted, SimTimeLimit, ThreadKilled
 from .events import PENDING, SUCCEEDED, AllOf, AnyOf, Event, Timeout, _ThreadWaiter
 from .trace import Tracer
 
 SimGen = Generator[Event, Any, Any]
+
+
+def _perturbed_seq(seed: int):
+    """Seeded replacement for the tie-break counter.
+
+    Yields ``(random 32-bit key, n)`` tuples: the random key shuffles the pop
+    order of same-timestamp heap entries, while the trailing counter keeps
+    every key unique so the heap never falls through to comparing callables.
+    Keys are drawn in execution order from a private PRNG, so the same seed
+    always produces the same perturbation — replayable by construction.
+    """
+    rng = random.Random(seed)
+    bits = rng.getrandbits
+    for n in itertools.count():
+        yield (bits(32), n)
 
 
 class Thread(_ThreadWaiter):
@@ -180,10 +208,20 @@ class Simulator:
         assert sim.now == 1.5 and t.done.value == "done"
     """
 
-    def __init__(self, *, strict: bool = False, trace: bool = False):
+    def __init__(
+        self,
+        *,
+        strict: bool = False,
+        trace: bool = False,
+        schedule_seed: Optional[int] = None,
+    ):
         self.now: float = 0.0
         self._heap: List = []
-        self._seq = itertools.count()
+        self.schedule_seed = schedule_seed
+        if schedule_seed is None:
+            self._seq = itertools.count()
+        else:
+            self._seq = _perturbed_seq(schedule_seed)
         self._tids = itertools.count(1)
         self.strict = strict
         self.trace = Tracer(self, enabled=trace)
@@ -261,7 +299,10 @@ class Simulator:
                 names = ", ".join(
                     f"{th.name} on {th.blocked_on and th.blocked_on.name!r}" for th in stuck[:12]
                 )
-                raise DeadlockError(f"{len(stuck)} thread(s) blocked at t={self.now:g}: {names}")
+                raise DeadlockError(
+                    f"{len(stuck)} thread(s) blocked at t={self.now:g}: {names}",
+                    waitfor=self.wait_for_graph(),
+                )
         return self.now
 
     def run_until(self, event: Event, *, limit: float = 1e12) -> Any:
@@ -270,7 +311,10 @@ class Simulator:
         pop = heappop
         while event._state is PENDING:
             if not heap:
-                raise DeadlockError(f"event {event.name!r} can never trigger (heap empty)")
+                raise DeadlockError(
+                    f"event {event.name!r} can never trigger (heap empty)",
+                    waitfor=self.wait_for_graph(),
+                )
             t, _, fn, args = pop(heap)
             if t > limit:
                 raise SimTimeLimit(f"exceeded t={limit:g} waiting for {event.name!r}")
@@ -282,3 +326,31 @@ class Simulator:
     def failed_threads(self) -> List:
         """(thread, exception) pairs for threads that died with an error."""
         return list(self._dead_threads)
+
+    def wait_for_graph(self) -> List[Dict[str, Any]]:
+        """Edges for every currently-blocked thread: who waits on what.
+
+        Each edge is ``{"thread", "tid", "daemon", "event", "owner"}``; the
+        owner is resolved when the blocking event exposes ``owner_info``
+        (mutex acquires do — see :class:`repro.sim.sync._AcquireEvent`),
+        else ``None``. Edges are sorted by tid, so the dump is stable across
+        perturbed schedules that block the same thread set.
+        """
+        edges: List[Dict[str, Any]] = []
+        for th in self.threads:
+            if not th.alive:
+                continue
+            ev = th._waiting_on
+            if ev is None:
+                continue
+            edges.append(
+                {
+                    "thread": th.name,
+                    "tid": th.tid,
+                    "daemon": th.daemon,
+                    "event": ev.name,
+                    "owner": getattr(ev, "owner_info", None),
+                }
+            )
+        edges.sort(key=lambda e: e["tid"])
+        return edges

@@ -25,6 +25,34 @@ if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
 
 
+class _AcquireEvent(Event):
+    """Mutex-acquire event that knows which lock it is queued on.
+
+    The extra slot lets :meth:`Simulator.wait_for_graph` resolve the current
+    holder of the contended lock without the kernel importing this module
+    (resolution is duck-typed on ``owner_info``) and without burdening the
+    plain :class:`Event` hot path.
+    """
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: "Mutex"):
+        super().__init__(mutex.sim, name=mutex._acquire_name)
+        self.mutex = mutex
+
+    @property
+    def owner_info(self) -> Optional[str]:
+        """Describe the current lock holder, or None if unowned."""
+        m = self.mutex
+        if not m.locked:
+            return None
+        owner = m.owner
+        if owner is None:
+            return f"mutex {m.name!r} (anonymous holder)"
+        name = getattr(owner, "name", None)
+        return f"mutex {m.name!r} holder {name or owner!r}"
+
+
 class Mutex:
     """A non-reentrant FIFO mutual-exclusion lock.
 
@@ -43,7 +71,7 @@ class Mutex:
 
     def acquire(self, owner: Optional[object] = None) -> Event:
         """Return an event that succeeds once the caller holds the lock."""
-        ev = Event(self.sim, name=self._acquire_name)
+        ev = _AcquireEvent(self)
         if not self.locked:
             self.locked = True
             self.owner = owner

@@ -151,7 +151,12 @@ def _handle_pause_init(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     pipe = DuplexPipe(daemon.sim, name=f"snapify-pipe:{msg['pid']}")
     entry.pipe = pipe.a
     entry.offload_proc.runtime["snapify_pipe_pending"] = pipe.b
-    entry.offload_proc.deliver_signal(sig.SIGSNAPIFY)
+    agent_thread = entry.offload_proc.deliver_signal(sig.SIGSNAPIFY)
+    if agent_thread is not None:
+        # The handler tail-calls into the agent service loop, which waits on
+        # the pipe forever between operations — like the restored-agent
+        # thread, it must not count against quiescence.
+        agent_thread.daemon = True
     ack = yield pipe.a.recv()
     if ack.get("t") != c.PAUSE_ACK:
         raise SnapifyError(f"bad pause ack {ack!r}")

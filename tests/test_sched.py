@@ -170,3 +170,71 @@ def test_repair_requires_positive_delay():
     with pytest.raises(ValueError):
         injector.schedule_card_failure(server.node.phis[0], at=1.0,
                                        repair_after=0)
+
+
+def test_telemetry_dispatch_order_is_subscription_order():
+    """Warnings fan out in subscription order over a snapshot: subscribers
+    added during dispatch see only the NEXT warning, and unsubscribing a
+    not-yet-dispatched subscriber mid-warning still delivers to it (the
+    snapshot was taken when the warning fired). This keeps telemetry
+    ordering identical across seeded schedule perturbations."""
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    calls = []
+
+    def late(phi, ttf):
+        calls.append("late")
+
+    def first(phi, ttf):
+        calls.append("first")
+        injector.subscribe(late)      # must NOT fire for this warning
+        injector.unsubscribe(second)  # must STILL fire for this warning
+
+    def second(phi, ttf):
+        calls.append("second")
+
+    injector.subscribe(first)
+    injector.subscribe(second)
+    injector.schedule_card_failure(server.node.phis[0], at=1.0, warning_lead=0.5)
+    server.sim.run(until=0.6)
+    assert calls == ["first", "second"]
+    calls.clear()
+    injector.schedule_card_failure(server.node.phis[1], at=2.0, warning_lead=0.5)
+    server.sim.run(until=1.6)
+    # Next warning: 'second' unsubscribed, 'late' now in the list.
+    assert calls == ["first", "late"]
+
+
+def test_telemetry_order_stable_under_seeded_schedules():
+    """The same fault plan produces the same telemetry order no matter the
+    schedule seed (regression for the seeded tie-break mode)."""
+    from repro.sim import Simulator
+
+    def dispatch_order(seed):
+        sim = Simulator(schedule_seed=seed)
+        server = XeonPhiServer(sim=sim)
+        injector = FaultInjector(sim)
+        calls = []
+        for tag in ("a", "b", "c"):
+            injector.subscribe(lambda phi, ttf, tag=tag: calls.append(tag))
+        injector.schedule_card_failure(server.node.phis[0], at=sim.now + 1.0,
+                                       warning_lead=0.5)
+        sim.run(until=sim.now + 0.6)
+        return calls
+
+    expected = dispatch_order(None)
+    assert expected == ["a", "b", "c"]
+    for seed in (0, 1, 2, 3):
+        assert dispatch_order(seed) == expected
+
+
+def test_fail_now_kills_card_synchronously():
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    phi = server.node.phis[0]
+    n_procs = len(phi.os.processes)
+    assert n_procs > 0
+    ev = injector.fail_now(phi)
+    assert ev.triggered and ev.value is phi
+    assert injector.is_failed(phi)
+    assert len(phi.os.processes) == 0

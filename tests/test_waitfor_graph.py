@@ -1,0 +1,132 @@
+"""DeadlockError's wait-for graph: thread -> blocking event -> owner.
+
+Pins both the structured form (``Simulator.wait_for_graph`` /
+``DeadlockError.waitfor``) and the rendered message format, so deadlock
+dumps stay machine-parsable for the fuzzer's repro artifacts.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.errors import DeadlockError, render_waitfor
+from repro.sim.sync import Mutex
+
+
+def _abba_deadlock():
+    """Classic AB-BA: two threads each hold one lock and want the other."""
+    sim = Simulator()
+    a = Mutex(sim, name="lock-a")
+    b = Mutex(sim, name="lock-b")
+
+    def t1(thread_name="t1"):
+        yield a.acquire(owner=thread_name)
+        yield sim.timeout(0.1)
+        yield b.acquire(owner=thread_name)
+
+    def t2(thread_name="t2"):
+        yield b.acquire(owner=thread_name)
+        yield sim.timeout(0.1)
+        yield a.acquire(owner=thread_name)
+
+    sim.spawn(t1(), name="t1")
+    sim.spawn(t2(), name="t2")
+    return sim
+
+
+def test_deadlock_error_carries_the_waitfor_graph():
+    sim = _abba_deadlock()
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run()
+    graph = excinfo.value.waitfor
+    assert len(graph) == 2
+    by_thread = {edge["thread"]: edge for edge in graph}
+    assert by_thread["t1"]["event"] == "acquire:lock-b"
+    assert by_thread["t1"]["owner"] == "mutex 'lock-b' holder 't2'"
+    assert by_thread["t2"]["event"] == "acquire:lock-a"
+    assert by_thread["t2"]["owner"] == "mutex 'lock-a' holder 't1'"
+    # Edges are tid-sorted and schema-complete.
+    assert [e["tid"] for e in graph] == sorted(e["tid"] for e in graph)
+    for edge in graph:
+        assert set(edge) == {"thread", "tid", "daemon", "event", "owner"}
+        assert edge["daemon"] is False
+
+
+def test_deadlock_message_format_is_pinned():
+    sim = _abba_deadlock()
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run()
+    msg = str(excinfo.value)
+    assert "2 thread(s) blocked at t=0.1" in msg
+    assert "wait-for graph:" in msg
+    assert "  t1 (tid=1) -> waiting on 'acquire:lock-b' held by mutex 'lock-b' holder 't2'" in msg
+    assert "  t2 (tid=2) -> waiting on 'acquire:lock-a' held by mutex 'lock-a' holder 't1'" in msg
+
+
+def test_render_waitfor_marks_daemons_and_plain_events():
+    edges = [
+        {"thread": "poller", "tid": 3, "daemon": True, "event": "recv:q", "owner": None},
+    ]
+    assert render_waitfor(edges) == "  poller (tid=3) [daemon] -> waiting on 'recv:q'"
+    assert render_waitfor([]) == "  (no blocked threads)"
+
+
+def test_run_until_deadlock_includes_graph():
+    sim = Simulator()
+    m = Mutex(sim, name="held")
+
+    def holder():
+        yield m.acquire(owner="holder")
+        # Never releases.
+
+    def waiter():
+        yield m.acquire(owner="waiter")
+
+    sim.spawn(holder(), name="holder")
+    t = sim.spawn(waiter(), name="waiter")
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run_until(t.done)
+    assert "can never trigger" in str(excinfo.value)
+    assert any(e["thread"] == "waiter" for e in excinfo.value.waitfor)
+
+
+def test_wait_for_graph_on_a_live_simulator():
+    """The graph is inspectable outside error paths, e.g. mid-run."""
+    sim = Simulator()
+    m = Mutex(sim, name="gate")
+
+    def holder():
+        yield m.acquire(owner="holder")
+        yield sim.timeout(1.0)
+        m.release()
+
+    def waiter():
+        yield sim.timeout(0.1)
+        yield m.acquire(owner="waiter")
+
+    sim.spawn(holder(), name="holder")
+    sim.spawn(waiter(), name="waiter")
+    sim.run(until=0.5)
+    graph = sim.wait_for_graph()
+    waiting = {e["thread"]: e for e in graph}
+    assert waiting["waiter"]["owner"] == "mutex 'gate' holder 'holder'"
+    sim.run()  # completes cleanly once the holder releases
+    assert sim.wait_for_graph() == []
+
+
+def test_anonymous_mutex_owner_renders_distinctly():
+    sim = Simulator()
+    m = Mutex(sim, name="anon")
+
+    def holder():
+        yield m.acquire()  # no owner passed
+
+    def waiter():
+        yield sim.timeout(0.1)
+        yield m.acquire(owner="w")
+
+    sim.spawn(holder(), name="holder")
+    sim.spawn(waiter(), name="waiter")
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run()
+    edge = next(e for e in excinfo.value.waitfor if e["thread"] == "waiter")
+    assert edge["owner"] == "mutex 'anon' (anonymous holder)"
