@@ -128,12 +128,50 @@ def wl_snapshot_cycle():
     return next(sim._seq)  # total kernel events scheduled
 
 
+def wl_concurrent_checkpoints(n_procs=4):
+    """N offload processes on one card checkpointed concurrently through
+    the operation manager: pause/capture pipelines overlapping on one
+    daemon, completions demultiplexed by correlation id. Exercises the
+    ops-layer hot path (state transitions, endpoint demux, wait_all) on
+    top of the full stack; ops = kernel events, like wl_snapshot_cycle.
+    """
+    from repro.coi import OffloadBinary, OffloadFunction
+    from repro.hw import MB
+    from repro.snapify import snapify_t, snapshot_application
+    from repro.testbed import XeonPhiServer, offload_process
+
+    sim = Simulator()
+    server = XeonPhiServer(sim=sim)
+    snaps = []
+
+    def setup(s):
+        for i in range(n_procs):
+            binary = OffloadBinary(
+                f"cc{i}.so", 8 * MB,
+                {"step": OffloadFunction("step", duration=0.05)},
+            )
+            coiproc, _ = yield from offload_process(
+                server, f"cc{i}", binary, buffers=[(4 * MB, i + 1)]
+            )
+            snaps.append(snapify_t(snapshot_path=f"/bench/cc{i}", coiproc=coiproc))
+
+    server.run(setup(sim))
+
+    def driver(s):
+        return (yield from snapshot_application(snaps, kind="checkpoint"))
+
+    results = server.run(driver(sim))
+    assert all(r.ok for r in results), "concurrent checkpoint failed"
+    return next(sim._seq)  # total kernel events scheduled
+
+
 WORKLOADS = {
     "event_dispatch": wl_event_dispatch,
     "ping_pong": wl_ping_pong,
     "ping_pong_bounded": wl_ping_pong_bounded,
     "timer_storm": wl_timer_storm,
     "snapshot_cycle": wl_snapshot_cycle,
+    "concurrent_checkpoints": wl_concurrent_checkpoints,
 }
 
 

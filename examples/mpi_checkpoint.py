@@ -8,16 +8,14 @@ from the latest checkpoint. All ranks finish with correct checksums.
 Run:  python examples/mpi_checkpoint.py
 """
 
-from repro.apps import NAS_MZ_BENCHMARKS
-from repro.apps.nas_mz import MZJob
 from repro.metrics import fmt_bytes, fmt_time
 from repro.mpi import mpi_checkpoint, mpi_restart
-from repro.testbed import XeonPhiCluster
+from repro.testbed import XeonPhiCluster, mz_job
 
 
 def main() -> None:
     cluster = XeonPhiCluster(n_nodes=4)
-    job = MZJob(cluster, NAS_MZ_BENCHMARKS["LU-MZ"], n_ranks=4, iterations=120)
+    job = mz_job(cluster, "LU-MZ", n_ranks=4, iterations=120)
 
     def scenario(sim):
         yield from job.launch()
@@ -33,6 +31,9 @@ def main() -> None:
             print(f"[{sim.now:6.2f}s] coordinated checkpoint #{k}: "
                   f"{fmt_time(report['elapsed'])}, {fmt_bytes(size)}/rank "
                   f"(iterations: {[r.host_proc.store['iter'] for r in job.ranks]})")
+            ops = ", ".join(f"op{res.op_id}:{res.state} {fmt_time(res.elapsed)}"
+                            for res in report["operations"])
+            print(f"            per-rank operations: {ops}")
 
         yield sim.timeout(0.5)
         print(f"[{sim.now:6.2f}s] cluster-wide failure: all ranks die")

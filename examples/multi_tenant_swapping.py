@@ -10,13 +10,10 @@ back in when the burst drains. Both tenants finish with correct results.
 Run:  python examples/multi_tenant_swapping.py
 """
 
-from dataclasses import replace
-
-from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
 from repro.hw import GB, MB
 from repro.metrics import fmt_bytes
 from repro.sched import SwapScheduler
-from repro.testbed import XeonPhiServer
+from repro.testbed import XeonPhiServer, offload_app
 
 
 def main() -> None:
@@ -25,12 +22,10 @@ def main() -> None:
     sched = SwapScheduler(server, device=0, headroom=256 * MB)
 
     # Tenant A: a big sample-sort job (~2 GB of card state).
-    big_profile = replace(OPENMP_BENCHMARKS["SS"], iterations=120)
-    big = OffloadApplication(server, big_profile, name="sample-sort")
+    big = offload_app(server, "SS", iterations=120, name="sample-sort")
 
     # Tenant B: a burst job that "needs" most of the card.
-    burst_profile = replace(OPENMP_BENCHMARKS["FT"], iterations=40)
-    burst = OffloadApplication(server, burst_profile, name="fft-burst")
+    burst = offload_app(server, "FT", iterations=40, name="fft-burst")
 
     def scenario(sim):
         yield from big.launch()

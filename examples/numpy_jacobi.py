@@ -11,10 +11,10 @@ Run:  python examples/numpy_jacobi.py
 
 import numpy as np
 
-from repro.coi import COIEngine, OffloadBinary, OffloadFunction
+from repro.coi import OffloadBinary, OffloadFunction
 from repro.hw import MB
 from repro.snapify.usecases import snapify_migration
-from repro.testbed import XeonPhiServer
+from repro.testbed import XeonPhiServer, offload_process
 
 N = 65536
 STEPS = 30
@@ -45,10 +45,9 @@ def main() -> None:
         ref = s
 
     def scenario(sim):
-        host = yield from server.host_os.spawn_process("jacobi", image_size=4 * MB)
-        coiproc = yield from COIEngine(server.node, 0).process_create(host, binary)
-        buf = yield from coiproc.buffer_create(N * 8)
-        yield from coiproc.buffer_write(buf, payload=x0.copy())
+        coiproc, [buf] = yield from offload_process(
+            server, "jacobi", binary, buffers=[(N * 8, x0.copy())]
+        )
         print(f"solving: {N}-point Jacobi, {STEPS} steps, offloaded to mic0")
 
         for k in range(STEPS):

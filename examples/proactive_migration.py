@@ -11,11 +11,8 @@ job on a separate server shows the counterfactual: it dies with its card.
 Run:  python examples/proactive_migration.py
 """
 
-from dataclasses import replace
-
-from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
 from repro.sched import FaultInjector, ProactiveMigrator
-from repro.testbed import XeonPhiServer
+from repro.testbed import XeonPhiServer, offload_app
 
 
 def main() -> None:
@@ -24,10 +21,8 @@ def main() -> None:
     migrator = ProactiveMigrator(server, injector)
 
     jobs = [
-        OffloadApplication(server, replace(OPENMP_BENCHMARKS["KM"], iterations=2500),
-                           device=0, name="kmeans"),
-        OffloadApplication(server, replace(OPENMP_BENCHMARKS["MC"], iterations=400),
-                           device=0, name="montecarlo"),
+        offload_app(server, "KM", iterations=2500, device=0, name="kmeans"),
+        offload_app(server, "MC", iterations=400, device=0, name="montecarlo"),
     ]
 
     def scenario(sim):

@@ -15,13 +15,12 @@ trace-event JSON — CI uploads this as its workflow artifact.
 """
 
 import sys
-from dataclasses import replace
 
-from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from repro.apps import expected_checksum
 from repro.metrics import fmt_bytes, fmt_time
 from repro.sim import Simulator
 from repro.snapify import checkpoint_offload_app, restart_offload_app, snapify_t
-from repro.testbed import XeonPhiServer
+from repro.testbed import XeonPhiServer, offload_app
 
 
 def main() -> None:
@@ -32,12 +31,11 @@ def main() -> None:
     print(f"booted {server.node.name}: host + {len(server.node.phis)} Xeon Phi cards")
 
     # A conjugate-gradient style offload benchmark, shortened for the demo.
-    profile = replace(OPENMP_BENCHMARKS["CG"], iterations=200)
-    app = OffloadApplication(server, profile)
+    app = offload_app(server, "CG", iterations=200)
 
     def scenario(sim):
         yield from app.launch()
-        print(f"[{sim.now:7.3f}s] launched {profile.name}: host process "
+        print(f"[{sim.now:7.3f}s] launched {app.name}: host process "
               f"pid={app.host_proc.pid}, offload process on mic0")
 
         yield sim.timeout(1.0)
@@ -68,7 +66,7 @@ def main() -> None:
         yield result.host_proc.main_thread.done
         checksum = result.host_proc.store["checksum"]
         print(f"[{sim.now:7.3f}s] application finished; checksum={checksum}")
-        assert checksum == expected_checksum(profile.iterations), "WRONG RESULT"
+        assert checksum == expected_checksum(app.iterations), "WRONG RESULT"
         print("checksum matches the failure-free run — snapshot was consistent ✓")
 
     server.run(scenario(server.sim))

@@ -10,19 +10,17 @@ correct checksum.
 Run:  python examples/resilient_run.py
 """
 
-from dataclasses import replace
-
-from repro.apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from repro.apps import expected_checksum
 from repro.metrics import fmt_time
 from repro.sched import FaultInjector, ResilientRunner, young_interval
 from repro.snapify import checkpoint_offload_app, snapify_t
-from repro.testbed import XeonPhiServer
+from repro.testbed import XeonPhiServer, offload_app
 
 
 def measure_checkpoint_cost() -> float:
     """One throwaway run to measure the checkpoint cost for this app."""
     server = XeonPhiServer()
-    app = OffloadApplication(server, replace(OPENMP_BENCHMARKS["KM"], iterations=10_000))
+    app = offload_app(server, "KM", iterations=10_000)
 
     def probe(sim):
         yield from app.launch()
@@ -43,8 +41,7 @@ def main() -> None:
 
     server = XeonPhiServer()
     injector = FaultInjector(server.sim)
-    profile = replace(OPENMP_BENCHMARKS["KM"], iterations=2500)  # ~11 s of work
-    app = OffloadApplication(server, profile)
+    app = offload_app(server, "KM", iterations=2500)  # ~11 s of work
     runner = ResilientRunner(server, app, injector, interval=interval)
 
     def scenario(sim):
@@ -59,7 +56,7 @@ def main() -> None:
           f"{runner.checkpoints_taken} checkpoints and {runner.restarts} restart(s)")
     for ev in runner.events:
         print(f"    {ev}")
-    assert store["checksum"] == expected_checksum(profile.iterations)
+    assert store["checksum"] == expected_checksum(app.iterations)
     print("checksum correct despite the card failure ✓")
 
 

@@ -11,26 +11,23 @@ Run:  python examples/trace_swapout.py [trace.json]
 """
 
 import sys
-from dataclasses import replace
 
-from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
 from repro.metrics import fmt_bytes, fmt_time
 from repro.obs import MetricsRegistry, PhaseBreakdown, write_chrome_trace
 from repro.sim import Simulator
 from repro.snapify import SWAP_IN, SWAP_OUT, snapify_command
-from repro.testbed import XeonPhiServer
+from repro.testbed import XeonPhiServer, offload_app
 
 
 def main() -> None:
     sim = Simulator(trace=True)
     server = XeonPhiServer(sim=sim)
-    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=60)
-    app = OffloadApplication(server, profile)
+    app = offload_app(server, "MC", iterations=60)
 
     def scenario(sim):
         yield from app.launch()
         yield sim.timeout(0.5)
-        print(f"[{sim.now:7.3f}s] swapping {profile.name} out to host storage...")
+        print(f"[{sim.now:7.3f}s] swapping {app.name} out to host storage...")
         yield snapify_command(app.host_proc, SWAP_OUT, snapshot_path="/swap/demo")
         print(f"[{sim.now:7.3f}s] swapped out; card memory released")
         yield snapify_command(app.host_proc, SWAP_IN, engine=server.engine(0))

@@ -31,6 +31,9 @@ class ReproArtifact:
     violations: List[str] = field(default_factory=list)
     waitfor: List[Dict[str, Any]] = field(default_factory=list)
     final_time: float = 0.0
+    #: describe() dicts of the run's Snapify operations (id, kind, pid,
+    #: state, error) — triage starts from the operation that wedged.
+    operations: List[Dict[str, Any]] = field(default_factory=list)
     version: int = FORMAT_VERSION
 
     @classmethod
@@ -46,6 +49,7 @@ class ReproArtifact:
             violations=[str(v) for v in result.violations],
             waitfor=result.waitfor,
             final_time=result.final_time,
+            operations=list(getattr(result, "operations", [])),
         )
 
     # -- persistence -------------------------------------------------------

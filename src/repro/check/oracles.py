@@ -233,6 +233,32 @@ def no_crashed_threads(server: "XeonPhiServer") -> List[Violation]:
     return out
 
 
+def operations_quiescent(server: "XeonPhiServer") -> List[Violation]:
+    """No Snapify operation is left in a non-terminal state at quiescence.
+
+    Every operation the :class:`~repro.snapify.ops.OperationManager` issued
+    must have reached DONE or FAILED — a REQUESTED/PAUSING/CAPTURING/…
+    operation at quiescence is a leaked or wedged control-plane action.
+    Operations whose processes are gone (the card died under them, or the
+    run deliberately killed the app) are exempt: nobody is left to finish
+    them, and the failure surfaced through the protocol's error path.
+    """
+    from ..snapify.ops import OperationManager
+
+    mgr = OperationManager.peek(server.sim)
+    if mgr is None:
+        return []
+    out: List[Violation] = []
+    for op in mgr.non_terminal():
+        if op.abandoned():
+            continue
+        out.append(Violation(
+            "operations_quiescent",
+            f"op {op.op_id} ({op.kind}, pid {op.pid}) left in {op.state}",
+        ))
+    return out
+
+
 #: All oracles, in check order. ``check_all`` runs every one of these.
 ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     memory_accounting,
@@ -242,6 +268,7 @@ ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     nothing_left_paused,
     monitor_quiescent,
     staging_drained,
+    operations_quiescent,
     no_crashed_threads,
 ]
 

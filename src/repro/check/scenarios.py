@@ -12,11 +12,13 @@ artifacts rely on.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..apps import OPENMP_BENCHMARKS, OffloadApplication, expected_checksum
+from ..apps import OffloadApplication, expected_checksum
+from ..coi import OffloadBinary, OffloadFunction
 from ..coi.services import COIError
+from ..hw import MB
 from ..hw.memory import MemoryExhausted
 from ..scif.endpoint import ConnectionReset, ScifError
 from ..sched.faults import FaultInjector
@@ -35,8 +37,10 @@ from ..snapify import (
     snapify_resume,
     snapify_t,
     snapify_wait,
+    snapshot_application,
 )
-from ..testbed import XeonPhiServer
+from ..snapify.ops import OperationManager
+from ..testbed import XeonPhiServer, offload_app
 from .oracles import Violation, check_all
 
 #: Errors a faulted run may legitimately surface instead of completing:
@@ -71,6 +75,9 @@ class RunResult:
     final_time: float = 0.0
     waitfor: List[Dict[str, Any]] = field(default_factory=list)
     trace_digest: Optional[str] = None
+    #: describe() dicts of every Snapify operation the run issued — failed
+    #: seeds name the operation (id, kind, pid, state) that wedged.
+    operations: List[Dict[str, Any]] = field(default_factory=list)
 
     def summary(self) -> str:
         verdict = "ok" if self.ok else "FAIL"
@@ -78,12 +85,18 @@ class RunResult:
         if self.error:
             bits.append(f"error={self.error}")
         bits.extend(str(v) for v in self.violations)
+        if not self.ok:
+            stuck = [o for o in self.operations
+                     if o.get("state") not in ("DONE", "FAILED")]
+            bits.extend(
+                f"op {o['op']} ({o['kind']}, pid {o['pid']}) in {o['state']}"
+                for o in stuck
+            )
         return "; ".join(bits)
 
 
 def _mk_app(server: XeonPhiServer, name: str = "fuzzapp") -> OffloadApplication:
-    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=ITERATIONS)
-    return OffloadApplication(server, profile, iterations=ITERATIONS, name=name)
+    return offload_app(server, "MC", iterations=ITERATIONS, name=name)
 
 
 def _verify_violation(app: OffloadApplication) -> List[Violation]:
@@ -195,11 +208,74 @@ def _checkpoint_fault(server, app, injector, phase, faults):
     return {"outcome": "faulted", "violations": []}
 
 
+def _dual_binary(dev: int) -> OffloadBinary:
+    return OffloadBinary(
+        name=f"dual{dev}.so",
+        image_size=8 * MB,
+        functions={"step": OffloadFunction("step", duration=0.05)},
+    )
+
+
+def _concurrent_checkpoint(server, app, injector, phase, faults):
+    """Concurrent snapshots: two applications on card 0 plus one host
+    process with an offload process on *each* card, all captured at once
+    through :func:`snapshot_application`. Exercises the operation-id demux
+    (several completions interleave on shared infrastructure) and the
+    ``(pid, op_id)``-keyed daemon table across two daemons."""
+    sim = server.sim
+    app2 = _mk_app(server, name="fuzzapp2")
+    yield from app.launch()
+    yield from app2.launch()
+    host = yield from server.host_os.spawn_process("dualcard", image_size=4 * MB)
+    dual = []
+    for dev in (0, 1):
+        cp = yield from server.engine(dev).process_create(host, _dual_binary(dev))
+        buf = yield from cp.buffer_create(8 * MB)
+        yield from cp.buffer_write(buf, payload=dev + 1)
+        dual.append(cp)
+    yield sim.timeout(0.3)
+
+    snaps = [
+        snapify_t("/fz/cc/app1", coiproc=app.coiproc),
+        snapify_t("/fz/cc/app2", coiproc=app2.coiproc),
+        snapify_t("/fz/cc/dual0", coiproc=dual[0]),
+        snapify_t("/fz/cc/dual1", coiproc=dual[1]),
+    ]
+    expected_pids = [s.coiproc.offload_proc.pid for s in snaps]
+    results = yield from snapshot_application(snaps, kind="checkpoint")
+
+    bad: List[Violation] = []
+    for snap, pid, res in zip(snaps, expected_pids, results):
+        if res is None or not res.ok:
+            bad.append(Violation(
+                "concurrent_checkpoint",
+                f"{snap.snapshot_path}: operation failed ({res and res.error})",
+            ))
+            continue
+        if res.pid != pid:
+            bad.append(Violation(
+                "concurrent_checkpoint",
+                f"{snap.snapshot_path}: result attributed to pid {res.pid}, "
+                f"expected {pid}",
+            ))
+        if res.sizes.get("offload_snapshot", 0) <= 0:
+            bad.append(Violation(
+                "concurrent_checkpoint",
+                f"{snap.snapshot_path}: empty offload snapshot",
+            ))
+    yield app.host_proc.main_thread.done
+    yield app2.host_proc.main_thread.done
+    bad.extend(_verify_violation(app))
+    bad.extend(_verify_violation(app2))
+    return {"outcome": "completed", "violations": bad}
+
+
 SCENARIOS = {
     "checkpoint": _checkpoint,
     "restart": _restart,
     "swap": _swap,
     "migrate": _migrate,
+    "concurrent_checkpoint": _concurrent_checkpoint,
     "checkpoint_fault": _checkpoint_fault,
 }
 
@@ -291,6 +367,8 @@ def run_scenario(
 
     violations = extra + check_all(server)
     ok = not violations and outcome in ("completed", "faulted", "clean_error")
+    mgr = OperationManager.peek(sim)
+    operations = [op.describe() for op in mgr.operations.values()] if mgr else []
     return RunResult(
         scenario=name,
         seed=seed,
@@ -303,4 +381,5 @@ def run_scenario(
         final_time=sim.now,
         waitfor=waitfor,
         trace_digest=_trace_digest(sim) if capture_trace else None,
+        operations=operations,
     )

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Dict, List
 
 from ..sim.events import Event
 from ..snapify.api import snapify_t
+from ..snapify.ops import OperationManager
 from ..snapify.usecases import checkpoint_offload_app, restart_offload_app
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,24 +43,24 @@ def mpi_checkpoint(job: "MZJob", path_prefix: str):
     yield job.all_parked
     assert job.comm.pending_messages() == 0, "MPI channels not drained"
 
-    # 2. Capture every rank in parallel.
+    # 2. Capture every rank in parallel: one pre-issued operation per rank,
+    #    demultiplexed by correlation id, awaited through the manager.
+    mgr = OperationManager.of(sim)
     snaps: Dict[int, snapify_t] = {}
-    done_events: List[Event] = []
+    ops = []
     for rank in job.ranks:
         snap = snapify_t(
             snapshot_path=rank_snapshot_path(path_prefix, rank.rank),
             coiproc=rank.host_proc.runtime["coi_handle"],
         )
         snaps[rank.rank] = snap
-        done = Event(sim, f"ckpt.rank{rank.rank}")
-        done_events.append(done)
+        ops.append(mgr.begin("checkpoint", snap))
 
-        def _one(snap=snap, done=done):
+        def _one(snap=snap):
             yield from checkpoint_offload_app(snap)
-            done.succeed(None)
 
-        sim.spawn(_one(), name=f"ckpt-rank")
-    yield sim.all_of(done_events)
+        sim.spawn(_one(), name="ckpt-rank")
+    results = yield from mgr.wait_all(ops)
 
     # 3. Release the job.
     job.park_requested = False
@@ -70,6 +71,7 @@ def mpi_checkpoint(job: "MZJob", path_prefix: str):
     elapsed = sim.now - t0
     return {
         "elapsed": elapsed,
+        "operations": results,
         "per_rank": {
             r: dict(snaps[r].timings, **{f"size_{k}": v for k, v in snaps[r].sizes.items()})
             for r in snaps
@@ -92,6 +94,7 @@ def mpi_restart(job: "MZJob", path_prefix: str):
     sim = job.sim
     t0 = sim.now
     done_events: List[Event] = []
+    restarted: List = []
     for rank in job.ranks:
         done = Event(sim, f"restart.rank{rank.rank}")
         done_events.append(done)
@@ -103,8 +106,10 @@ def mpi_restart(job: "MZJob", path_prefix: str):
                 rank.server.engine(0),
             )
             rank.host_proc = result.host_proc
+            restarted.append(result)
             done.succeed(None)
 
         sim.spawn(_one(), name="restart-rank")
     yield sim.all_of(done_events)
-    return {"elapsed": sim.now - t0}
+    return {"elapsed": sim.now - t0,
+            "operations": [r.result for r in restarted]}

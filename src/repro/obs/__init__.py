@@ -18,17 +18,27 @@ See docs/observability.md for the span model and the determinism rules.
 """
 
 from .export import chrome_trace, validate_trace_events, write_chrome_trace
-from .phases import PhaseBreakdown, SpanNode, build_span_tree
+from .phases import (
+    OperationTimeline,
+    PhaseBreakdown,
+    SpanNode,
+    build_span_tree,
+    operation_table,
+    operation_timelines,
+)
 from .registry import Counter, Histogram, MetricsRegistry
 
 __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "OperationTimeline",
     "PhaseBreakdown",
     "SpanNode",
     "build_span_tree",
     "chrome_trace",
+    "operation_table",
+    "operation_timelines",
     "validate_trace_events",
     "write_chrome_trace",
 ]

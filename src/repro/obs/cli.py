@@ -25,11 +25,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from .export import validate_trace_events, write_chrome_trace
-from .phases import PhaseBreakdown
+from .phases import PhaseBreakdown, operation_table, operation_timelines
 from .registry import MetricsRegistry
 
 #: scenario name -> root span names whose breakdowns are printed.
@@ -56,20 +55,18 @@ def run_traced_scenario(scenario: str, iterations: int = 40,
     The returned server's ``sim.trace`` holds the complete record stream
     (spans included) and ``MetricsRegistry.of(sim)`` the final instruments.
     """
-    from ..apps import OPENMP_BENCHMARKS, OffloadApplication
     from ..sim import Simulator
     from ..snapify import (
         MIGRATE, SWAP_IN, SWAP_OUT, checkpoint_offload_app, snapify_command, snapify_t,
     )
-    from ..testbed import XeonPhiServer
+    from ..testbed import XeonPhiServer, offload_app
 
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r} (choose from {sorted(SCENARIOS)})")
 
     sim = Simulator(trace=True)
     server = XeonPhiServer(sim=sim)
-    profile = replace(OPENMP_BENCHMARKS["MC"], iterations=iterations)
-    app = OffloadApplication(server, profile)
+    app = offload_app(server, "MC", iterations=iterations)
     if sample_interval > 0:
         sim.spawn(_metrics_sampler(sim, sample_interval), name="metrics-sampler",
                   daemon=True)
@@ -109,6 +106,12 @@ def trace_command(args: argparse.Namespace) -> int:
     for _, breakdown in breakdowns:
         print()
         print(breakdown.render())
+
+    # The state-machine view: one row per operation, phases from op.state
+    # transitions (distinguishes concurrent operations by correlation id).
+    if operation_timelines(tracer):
+        print()
+        print(operation_table(tracer).render())
 
     if args.metrics:
         snap = MetricsRegistry.of(server.sim).snapshot()
@@ -151,6 +154,16 @@ def fuzz_command(args: argparse.Namespace) -> int:
             print("wait-for graph:")
             for edge in result.waitfor:
                 print(f"  {edge['thread']} -> {edge['event']!r} (owner: {edge['owner']})")
+        interesting = [o for o in result.operations
+                       if o.get("state") != "DONE" or o.get("error")]
+        if interesting:
+            print("operations:")
+            for o in interesting:
+                line = (f"  op {o['op']} ({o['kind']}, pid {o['pid']}) "
+                        f"state={o['state']}")
+                if o.get("error"):
+                    line += f" error={o['error']}"
+                print(line)
         if result.ok:
             print("replay did NOT reproduce a failure (run is clean)")
             return 0

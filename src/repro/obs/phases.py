@@ -18,10 +18,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from ..metrics import ResultTable, fmt_time
-
 if TYPE_CHECKING:  # pragma: no cover
+    from ..metrics import ResultTable
     from ..sim.trace import Tracer
+
+
+def _tables():
+    """Deferred: :mod:`repro.metrics` imports :mod:`repro.hw`, whose package
+    init reaches back into :mod:`repro.obs` for the metrics registry — a
+    top-level import here closes that cycle when ``repro.metrics`` is the
+    first module loaded."""
+    from ..metrics import ResultTable, fmt_time
+
+    return ResultTable, fmt_time
 
 
 class SpanNode:
@@ -150,8 +159,9 @@ class PhaseBreakdown:
         """Covered child time + unattributed gap — equals ``total`` exactly."""
         return self.covered + self.unattributed
 
-    def table(self) -> ResultTable:
+    def table(self) -> "ResultTable":
         """Render as the paper's Figure 9/10-style component table."""
+        ResultTable, fmt_time = _tables()
         t = ResultTable(
             f"Phase breakdown: {self.root.name} "
             f"(end-to-end {fmt_time(self.total)})",
@@ -175,3 +185,93 @@ class PhaseBreakdown:
 
     def render(self) -> str:
         return self.table().render()
+
+
+class OperationTimeline:
+    """One Snapify operation's state history, rebuilt from ``op.begin`` /
+    ``op.state`` / ``op.end`` trace records.
+
+    This is the phase view derived from the control plane's *state machine*
+    (:mod:`repro.snapify.ops`) rather than from per-call spans: time spent
+    in PAUSING is the pause cost, CAPTURING the capture stream, and so on —
+    per operation, which is what distinguishes two concurrent checkpoints
+    that a span-name query would conflate.
+    """
+
+    __slots__ = ("op_id", "kind", "pid", "span_id", "transitions",
+                 "final_state", "error")
+
+    def __init__(self, op_id: int, kind: str, pid: int, span_id: int,
+                 start: float):
+        self.op_id = op_id
+        self.kind = kind
+        self.pid = pid
+        self.span_id = span_id
+        self.transitions: List[Tuple[str, float]] = [("REQUESTED", start)]
+        self.final_state: Optional[str] = None
+        self.error: Optional[str] = None
+
+    @property
+    def started(self) -> float:
+        return self.transitions[0][1]
+
+    @property
+    def finished(self) -> Optional[float]:
+        return self.transitions[-1][1] if self.final_state else None
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        return None if self.finished is None else self.finished - self.started
+
+    def phases(self) -> Dict[str, float]:
+        """Simulated seconds spent in each non-terminal state."""
+        out: Dict[str, float] = {}
+        for (state, t0), (_, t1) in zip(self.transitions, self.transitions[1:]):
+            out[state.lower()] = out.get(state.lower(), 0.0) + (t1 - t0)
+        return out
+
+
+def operation_timelines(tracer: "Tracer") -> List[OperationTimeline]:
+    """Every operation's timeline, in issue order."""
+    by_id: Dict[int, OperationTimeline] = {}
+    for rec in tracer.find("op.begin"):
+        f = rec.fields
+        by_id[f["op"]] = OperationTimeline(f["op"], f["kind"], f.get("pid", -1),
+                                           f.get("span", 0), rec.time)
+    for rec in tracer.find("op.state"):
+        tl = by_id.get(rec.fields["op"])
+        if tl is None:
+            continue
+        tl.transitions.append((rec.fields["state"], rec.time))
+        if rec.fields.get("pid", -1) >= 0:
+            tl.pid = rec.fields["pid"]
+    for rec in tracer.find("op.end"):
+        tl = by_id.get(rec.fields["op"])
+        if tl is None:
+            continue
+        tl.transitions.append((rec.fields["state"], rec.time))
+        tl.final_state = rec.fields["state"]
+        tl.error = rec.fields.get("error")
+    return [by_id[k] for k in sorted(by_id)]
+
+
+def operation_table(tracer: "Tracer") -> "ResultTable":
+    """All operations of a traced run as one per-phase table."""
+    ResultTable, fmt_time = _tables()
+    timelines = operation_timelines(tracer)
+    phase_cols = ["pausing", "drained", "capturing", "transferring"]
+    t = ResultTable(
+        "Operations (state-machine phase breakdown)",
+        ["op", "kind", "pid", *phase_cols, "total", "state"],
+    )
+    for tl in timelines:
+        phases = tl.phases()
+        t.add_row(
+            str(tl.op_id), tl.kind, str(tl.pid),
+            *(fmt_time(phases[p]) if p in phases else "-" for p in phase_cols),
+            fmt_time(tl.elapsed) if tl.elapsed is not None else "...",
+            tl.final_state or "(in flight)",
+        )
+        if tl.error:
+            t.add_note(f"op {tl.op_id} failed: {tl.error}")
+    return t

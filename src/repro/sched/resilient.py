@@ -47,6 +47,8 @@ class ResilientRunner:
         self.restarts = 0
         self.latest_snapshot: Optional[str] = None
         self.events: List[tuple] = []
+        #: Typed OperationResults of every checkpoint/restart the runner drove.
+        self.op_results: List = []
 
     # -- helpers ----------------------------------------------------------------
     def _healthy_engine(self):
@@ -96,6 +98,8 @@ class ResilientRunner:
                 continue
             self.checkpoints_taken += 1
             self.latest_snapshot = path
+            if snap.op is not None and snap.op.result is not None:
+                self.op_results.append(snap.op.result)
             self.events.append(("checkpoint", path, self.sim.now))
 
         return self._host_proc().store
@@ -119,4 +123,6 @@ class ResilientRunner:
             self.server.host_os, self.latest_snapshot, self._healthy_engine()
         )
         self.app.host_proc = result.host_proc
+        if result.result is not None:
+            self.op_results.append(result.result)
         self.events.append(("restart", self.latest_snapshot, self.sim.now))

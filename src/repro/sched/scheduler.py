@@ -14,13 +14,14 @@ lives here).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..coi.engine import COIEngine
 from ..obs.registry import MetricsRegistry
 from ..osim.process import SimProcess
 from ..snapify.cli import SWAP_IN, SWAP_OUT, snapify_command
+from ..snapify.ops import OperationResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..testbed import XeonPhiServer
@@ -36,6 +37,9 @@ class TenantJob:
     footprint: int
     state: str = "resident"  # resident | swapped
     swap_count: int = 0
+    #: The snapify_t of the last swap cycle; its ``op`` is the in-flight or
+    #: completed operation for this job (field(...) keeps dataclass eq).
+    snap: Optional[object] = field(default=None, compare=False)
 
 
 class SwapScheduler:
@@ -51,6 +55,8 @@ class SwapScheduler:
         self.headroom = headroom
         self.jobs: Dict[int, TenantJob] = {}
         self.swap_events: List[tuple] = []
+        #: Typed results of every swap operation this scheduler issued.
+        self.operations: List[OperationResult] = []
         reg = MetricsRegistry.of(self.sim)
         self.m_swap_outs = reg.counter(f"sched.dev{device}.swap_outs")
         self.m_swap_ins = reg.counter(f"sched.dev{device}.swap_ins")
@@ -113,7 +119,8 @@ class SwapScheduler:
             job.host_proc, SWAP_OUT,
             snapshot_path=f"/swap/job_{job.host_proc.pid}",
         )
-        yield done
+        job.snap = yield done
+        self._record(job)
         job.state = "swapped"
         job.swap_count += 1
         self.m_swap_outs.inc()
@@ -125,8 +132,16 @@ class SwapScheduler:
         engine = COIEngine(self.server.node, self.device)
         done = snapify_command(job.host_proc, SWAP_IN, engine=engine)
         yield done
+        # The CLI handler drove the swap-in on the same snapify_t it parked
+        # at swap-out; its operation is now the swap-in's.
+        self._record(job)
         job.state = "resident"
         self.m_swap_ins.inc()
         self.sim.trace.emit("sched.swap_in", proc=job.host_proc.name,
                             footprint=job.footprint)
         self.swap_events.append(("in", job.host_proc.name, self.sim.now))
+
+    def _record(self, job: TenantJob) -> None:
+        snap = job.snap
+        if snap is not None and snap.op is not None and snap.op.result is not None:
+            self.operations.append(snap.op.result)

@@ -17,6 +17,13 @@ from .api import (
 )
 from .cli import MIGRATE, SWAP_IN, SWAP_OUT, install_cli_handler, snapify_command
 from .monitor import SnapifyError, SnapifyService, handle_service
+from .ops import (
+    OperationManager,
+    OperationResult,
+    SnapifyOperation,
+    capture_sequence,
+    snapshot_application,
+)
 from .usecases import (
     RestartResult,
     checkpoint_offload_app,
@@ -29,12 +36,17 @@ from .usecases import (
 
 __all__ = [
     "MIGRATE",
+    "OperationManager",
+    "OperationResult",
     "RestartResult",
     "SWAP_IN",
     "SWAP_OUT",
     "SnapifyError",
+    "SnapifyOperation",
     "SnapifyService",
+    "capture_sequence",
     "checkpoint_offload_app",
+    "snapshot_application",
     "constants",
     "handle_service",
     "host_context_path",

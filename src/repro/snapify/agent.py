@@ -61,6 +61,9 @@ def agent_loop(proc: SimProcess, pipe_end):
         msg = yield pipe_end.recv()
         op = msg["op"]
         parent = msg.get("span", 0)
+        # Echoed in every reply so the daemon's monitor thread can route
+        # the status to the operation that requested it.
+        op_id = msg.get("op_id", 0)
         if op == "pause":
             sp = sim.trace.span("agent.pause", parent=parent, proc=proc.name)
             sub = sim.trace.span("agent.quiesce", parent=sp)
@@ -73,7 +76,9 @@ def agent_loop(proc: SimProcess, pipe_end):
                 span=sub.span_id,
             )
             sub.finish(bytes=ls_bytes)
-            yield from pipe_end.send({"t": c.PAUSE_COMPLETE, "localstore_bytes": ls_bytes})
+            yield from pipe_end.send({"t": c.PAUSE_COMPLETE,
+                                      "localstore_bytes": ls_bytes,
+                                      "op_id": op_id})
             sp.finish(localstore_bytes=ls_bytes)
         elif op == "capture":
             sp = sim.trace.span("agent.capture", parent=parent, proc=proc.name)
@@ -85,13 +90,14 @@ def agent_loop(proc: SimProcess, pipe_end):
             ctx = yield done
             yield from fd.finish()
             yield from pipe_end.send(
-                {"t": c.CAPTURE_COMPLETE, "image_bytes": ctx.image_bytes}
+                {"t": c.CAPTURE_COMPLETE, "image_bytes": ctx.image_bytes,
+                 "op_id": op_id}
             )
             sp.finish(bytes=ctx.image_bytes)
         elif op == "resume":
             sp = sim.trace.span("agent.resume", parent=parent, proc=proc.name)
             runtime.release()
-            yield from pipe_end.send({"t": c.RESUME_ACK})
+            yield from pipe_end.send({"t": c.RESUME_ACK, "op_id": op_id})
             sp.finish()
         else:  # pragma: no cover - protocol error
             raise RuntimeError(f"snapify agent: unknown op {op!r}")

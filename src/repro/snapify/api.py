@@ -36,6 +36,14 @@ from ..osim.process import SimProcess
 from ..sim.sync import Semaphore
 from . import constants as c
 from .monitor import SnapifyError
+from .ops import (
+    CAPTURING,
+    DRAINED,
+    PAUSING,
+    REQUESTED,
+    TRANSFERRING,
+    OperationManager,
+)
 
 
 @dataclass
@@ -56,6 +64,11 @@ class snapify_t:
     #: Root span of the enclosing use case (swap-out, checkpoint, ...); the
     #: API calls parent their own spans on it. None/NULL_SPAN when untraced.
     span: Optional[Any] = None
+    #: The in-flight :class:`~repro.snapify.ops.SnapifyOperation`. Use cases
+    #: open it via ``OperationManager.begin``; a raw API call on a handle
+    #: with no live operation auto-issues one. Its correlation id rides in
+    #: every SERVICE message this handle sends.
+    op: Optional[Any] = None
     #: Instrumentation for the benchmark harness.
     timings: Dict[str, float] = field(default_factory=dict)
     sizes: Dict[str, int] = field(default_factory=dict)
@@ -80,6 +93,9 @@ def snapify_pause(snap: snapify_t):
     if coiproc is None or coiproc.dead:
         raise SnapifyError("pause: no live offload process in handle")
     sim = coiproc.sim
+    mgr = OperationManager.of(sim)
+    op = mgr.adopt(snap)
+    op.transition(PAUSING)
     t0 = sim.now
     host_os = coiproc.host_proc.os
     host_name = coiproc.host_proc.name
@@ -99,11 +115,12 @@ def snapify_pause(snap: snapify_t):
     # offload process; its ack is relayed back to us.
     sub = sim.trace.span("pause.handshake", parent=sp, proc=host_name)
     yield from coiproc.daemon_ep.send(
-        {"type": c.SERVICE, "op": c.OP_PAUSE_INIT, "pid": pid, "span": sp.span_id}
+        {"type": c.SERVICE, "op": c.OP_PAUSE_INIT, "pid": pid,
+         "span": sp.span_id, "op_id": op.op_id}
     )
-    ack = yield coiproc.daemon_ep.recv()
+    ack = yield from mgr.recv_reply(op, coiproc.daemon_ep)
     if ack.get("t") != c.PAUSE_ACK:
-        raise SnapifyError(f"pause handshake failed: {ack!r}")
+        raise op.fail_with(f"pause handshake failed: {ack!r}")
     sub.finish()
 
     # Step 4: tell the offload agent to drain its side, and drain ours
@@ -112,19 +129,20 @@ def snapify_pause(snap: snapify_t):
     yield from coiproc.daemon_ep.send(
         {"type": c.SERVICE, "op": c.OP_PAUSE_GO, "pid": pid,
          "path": snap.snapshot_path, "localstore_node": snap.localstore_node,
-         "span": sp.span_id}
+         "span": sp.span_id, "op_id": op.op_id}
     )
     yield from coiproc.quiesce()
-    done = yield coiproc.daemon_ep.recv()
+    done = yield from mgr.recv_reply(op, coiproc.daemon_ep)
     if done.get("t") == c.SNAPIFY_FAILED:
         sub.finish(error=done.get("reason"))
         sp.finish(error=done.get("reason"))
-        raise SnapifyError(f"pause failed: {done.get('reason')}")
+        raise op.fail_with(f"pause failed: {done.get('reason')}")
     if done.get("t") != c.PAUSE_COMPLETE:
-        raise SnapifyError(f"pause did not complete: {done!r}")
+        raise op.fail_with(f"pause did not complete: {done!r}")
     snap.sizes["local_store"] = done.get("localstore_bytes", 0)
     sub.finish(localstore_bytes=snap.sizes["local_store"])
     snap.timings["pause"] = sim.now - t0
+    op.transition(DRAINED, localstore_bytes=snap.sizes["local_store"])
     sp.finish(elapsed=snap.timings["pause"])
     sim.trace.emit("snapify.pause", pid=pid, path=snap.snapshot_path,
                    elapsed=snap.timings["pause"])
@@ -138,32 +156,43 @@ def snapify_capture(snap: snapify_t, terminate: bool):
     if coiproc is None or not coiproc.paused:
         raise SnapifyError("capture: call snapify_pause first")
     sim = coiproc.sim
+    mgr = OperationManager.of(sim)
+    op = mgr.adopt(snap)
+    op.terminate = op.terminate or terminate
     snap.sem = Semaphore(sim, value=0, name="snapify.capture")
     t0 = sim.now
     sp = sim.trace.span("snapify.capture", parent=snap.span,
                         pid=coiproc.offload_proc.pid, terminate=terminate,
                         proc=coiproc.host_proc.name)
+    op.transition(CAPTURING, terminate=terminate)
     yield from coiproc.daemon_ep.send(
         {"type": c.SERVICE, "op": c.OP_CAPTURE, "pid": coiproc.offload_proc.pid,
-         "path": snap.snapshot_path, "terminate": terminate, "span": sp.span_id}
+         "path": snap.snapshot_path, "terminate": terminate,
+         "span": sp.span_id, "op_id": op.op_id}
     )
 
     def _completion_waiter():
+        # Correlated receive: with several captures in flight on this
+        # endpoint, each waiter sees only the completion carrying its own
+        # operation id (the old bare recv() stole whichever came first).
         try:
-            done = yield coiproc.daemon_ep.recv()
+            done = yield from mgr.recv_reply(op, coiproc.daemon_ep)
         except Exception as exc:  # daemon/card died under the capture
             snap.error = f"lost the COI daemon during capture: {exc}"
+            op.fail(snap.error)
             sp.finish(error="daemon-lost")
             snap.sem.post()
             return
         if done.get("t") != c.CAPTURE_COMPLETE:
             # Surface the failure through the semaphore: snapify_wait raises.
             snap.error = done.get("reason", repr(done))
+            op.fail(snap.error)
             sp.finish(error="capture-failed")
             snap.sem.post()
             return
         snap.sizes["offload_snapshot"] = done.get("image_bytes", 0)
         snap.timings["capture"] = sim.now - t0
+        op.transition(TRANSFERRING, bytes=snap.sizes["offload_snapshot"])
         sp.finish(bytes=snap.sizes["offload_snapshot"])
         sim.trace.emit("snapify.capture", pid=coiproc.offload_proc.pid,
                        terminate=terminate, bytes=snap.sizes["offload_snapshot"])
@@ -184,7 +213,14 @@ def snapify_wait(snap: snapify_t):
         raise SnapifyError("wait: no capture in flight")
     yield snap.sem.wait()
     if snap.error is not None:
+        if snap.op is not None:
+            raise snap.op.fail_with(f"capture failed: {snap.error}")
         raise SnapifyError(f"capture failed: {snap.error}")
+    op = snap.op
+    if op is not None and op.terminate and not op.is_terminal:
+        # A terminating capture (swap-out) has no resume step to close the
+        # operation; the snapshot being durable completes it here.
+        op.complete()
 
 
 def snapify_resume(snap: snapify_t):
@@ -193,22 +229,26 @@ def snapify_resume(snap: snapify_t):
     if coiproc is None:
         raise SnapifyError("resume: empty handle")
     sim = coiproc.sim
+    mgr = OperationManager.of(sim)
+    op = mgr.adopt(snap)
     t0 = sim.now
     sp = sim.trace.span("snapify.resume", parent=snap.span,
                         pid=coiproc.offload_proc.pid, proc=coiproc.host_proc.name)
     yield from coiproc.daemon_ep.send(
         {"type": c.SERVICE, "op": c.OP_RESUME, "pid": coiproc.offload_proc.pid,
-         "span": sp.span_id}
+         "span": sp.span_id, "op_id": op.op_id}
     )
-    ack = yield coiproc.daemon_ep.recv()
+    ack = yield from mgr.recv_reply(op, coiproc.daemon_ep)
     if ack.get("t") != c.RESUME_ACK:
-        raise SnapifyError(f"resume failed: {ack!r}")
+        raise op.fail_with(f"resume failed: {ack!r}")
     # The offload process released its locks and acknowledged; now ours.
     if coiproc.paused:
         coiproc.release()
     snap.timings["resume"] = sim.now - t0
     sp.finish(elapsed=snap.timings["resume"])
     sim.trace.emit("snapify.resume", pid=coiproc.offload_proc.pid)
+    if not op.is_terminal:
+        op.complete()
 
 
 def snapify_restore(snap: snapify_t, engine: COIEngine, host_proc: SimProcess):
@@ -220,20 +260,24 @@ def snapify_restore(snap: snapify_t, engine: COIEngine, host_proc: SimProcess):
     :func:`snapify_resume` is called.
     """
     sim = engine.sim
+    mgr = OperationManager.of(sim)
+    op = mgr.adopt(snap, kind="restore")
     t0 = sim.now
     old = snap.coiproc
     sp = sim.trace.span("snapify.restore", parent=snap.span,
                         device=engine.device_id, proc=host_proc.name)
+    if op.state in (REQUESTED, CAPTURING):
+        op.transition(TRANSFERRING, device=engine.device_id)
 
     daemon_ep = yield from engine.connect_daemon(host_proc)
     yield from daemon_ep.send(
         {"type": c.SERVICE, "op": c.OP_RESTORE, "path": snap.snapshot_path,
          "host_proc": host_proc, "localstore_node": snap.localstore_node,
-         "span": sp.span_id}
+         "span": sp.span_id, "op_id": op.op_id}
     )
-    reply = yield daemon_ep.recv()
+    reply = yield from mgr.recv_reply(op, daemon_ep)
     if reply.get("t") != "restore-complete":
-        raise SnapifyError(f"restore failed: {reply!r}")
+        raise op.fail_with(f"restore failed: {reply!r}")
 
     offload_proc = reply["offload_proc"]
     binary = offload_proc.store.get("_coi_binary")
@@ -267,6 +311,7 @@ def snapify_restore(snap: snapify_t, engine: COIEngine, host_proc: SimProcess):
 
     snap.coiproc = new
     snap.timings["restore"] = sim.now - t0
+    op.pid = new.offload_proc.pid  # attribution now points at the restored pid
     sp.finish(pid=new.offload_proc.pid, elapsed=snap.timings["restore"])
     sim.trace.emit("snapify.restore", pid=new.offload_proc.pid,
                    device=engine.device_id, path=snap.snapshot_path)

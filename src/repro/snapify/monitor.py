@@ -29,7 +29,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class SnapifyError(SimError):
-    """Snapify protocol failure."""
+    """Snapify protocol failure, tagged with the operation it belongs to.
+
+    ``op_id``/``phase`` locate the failure on the operation state machine
+    (:mod:`repro.snapify.ops`); fuzz repro artifacts and wait-for graphs
+    render them so a failed seed names the operation that wedged.
+    """
+
+    def __init__(self, message: str, *, op_id: Any = None, phase: Any = None):
+        if op_id is not None:
+            message = f"{message} [op {op_id} @ {phase or '?'}]"
+        super().__init__(message)
+        self.op_id = op_id
+        self.phase = phase
 
 
 @dataclass
@@ -43,6 +55,10 @@ class ActiveRequest:
     terminate_after: bool = False
     #: span id of the host-side API span that issued the request (0 = untraced).
     span_id: int = 0
+    #: correlation id of the host-side operation (0 = legacy/unkeyed); the
+    #: id is echoed in every relayed status so concurrent operations on one
+    #: endpoint demultiplex correctly.
+    op_id: int = 0
 
 
 class SnapifyService:
@@ -51,7 +67,10 @@ class SnapifyService:
     def __init__(self, daemon: COIDaemon):
         self.daemon = daemon
         self.sim = daemon.sim
-        self.active: Dict[int, ActiveRequest] = {}  # offload pid -> request
+        #: (offload pid, op id) -> request. Keying by operation, not just
+        #: pid, is what lets several operations share one daemon (and even
+        #: one offload process) without completion stealing.
+        self.active: Dict[Any, ActiveRequest] = {}
         self.monitor_running = False
         self.monitor_spawn_count = 0
         reg = MetricsRegistry.of(self.sim)
@@ -82,39 +101,63 @@ class SnapifyService:
 
     def _monitor(self):
         while self.active:
-            for pid, req in list(self.active.items()):
-                pipe = req.entry.pipe
+            by_pid: Dict[int, list] = {}
+            for key, req in list(self.active.items()):
+                by_pid.setdefault(key[0], []).append((key, req))
+            for pid, reqs in by_pid.items():
+                # Every request for one pid shares the entry's single pipe;
+                # at most one message is drained per pid per tick and routed
+                # to the operation whose id it carries.
+                pipe = reqs[0][1].entry.pipe
                 if pipe is None:
                     continue
                 ok, msg = pipe.try_recv() if pipe.pending else (False, None)
                 if ok:
-                    yield from self._relay(pid, req, msg)
+                    key, req = self._match(reqs, msg)
+                    yield from self._relay(key, req, msg)
                     continue
-                # Unexpected death of the offload process while an operation
-                # is in flight: tell the host instead of letting it hang.
-                if req.entry.state == "crashed":
-                    yield from self._relay(
-                        pid, req,
-                        {"t": c.SNAPIFY_FAILED,
-                         "reason": f"offload pid {pid} died during {req.op}"},
-                    )
+                # Unexpected death of the offload process while operations
+                # are in flight: tell every host instead of letting it hang.
+                if reqs[0][1].entry.state == "crashed":
+                    for key, req in reqs:
+                        if key not in self.active:
+                            continue
+                        yield from self._relay(
+                            key, req,
+                            {"t": c.SNAPIFY_FAILED,
+                             "reason": f"offload pid {pid} died during {req.op}",
+                             "op_id": key[1]},
+                        )
             yield self.sim.timeout(c.MONITOR_POLL_INTERVAL)
         self.monitor_running = False
         self.sim.trace.emit("monitor.exit", daemon=self.daemon.proc.name)
 
-    def _relay(self, pid: int, req: ActiveRequest, msg: Dict[str, Any]):
+    @staticmethod
+    def _match(reqs, msg):
+        """The (key, request) a pipe message belongs to: by the op id the
+        agent echoed, falling back to the oldest request (legacy/unkeyed)."""
+        target = msg.get("op_id", 0)
+        if target:
+            for key, req in reqs:
+                if key[1] == target:
+                    return key, req
+        return reqs[0]
+
+    def _relay(self, key, req: ActiveRequest, msg: Dict[str, Any]):
         """Forward a pipe status message to the requesting host process."""
         status = msg["t"]
         self.m_relays.inc()
-        self.sim.trace.emit("monitor.relay", pid=pid, status=status,
+        self.sim.trace.emit("monitor.relay", pid=key[0], status=status,
                             span=req.span_id)
-        yield from req.host_ep.send(dict(msg))
+        fwd = dict(msg)
+        fwd.setdefault("op_id", req.op_id)
+        yield from req.host_ep.send(fwd)
         if status == c.CAPTURE_COMPLETE and req.terminate_after:
             # Snapify marks the exit as expected so the daemon does not
             # misclassify the swap-out as a crash (the §3 hazard).
             self.daemon.terminate_offload(req.entry, expected=True)
         if status in (c.CAPTURE_COMPLETE, c.RESUME_ACK, c.SNAPIFY_FAILED):
-            self.active.pop(pid, None)
+            self.active.pop(key, None)
 
 
 def handle_service(daemon: COIDaemon, ep: ScifEndpoint, msg: Dict[str, Any]):
@@ -159,11 +202,14 @@ def _handle_pause_init(daemon: COIDaemon, svc: SnapifyService, ep, msg):
         agent_thread.daemon = True
     ack = yield pipe.a.recv()
     if ack.get("t") != c.PAUSE_ACK:
-        raise SnapifyError(f"bad pause ack {ack!r}")
-    svc.active[msg["pid"]] = ActiveRequest(entry=entry, host_ep=ep, op="pause",
-                                           span_id=msg.get("span", 0))
+        raise SnapifyError(f"bad pause ack {ack!r}",
+                           op_id=msg.get("op_id") or None, phase="pause")
+    op_id = msg.get("op_id", 0)
+    svc.active[(msg["pid"], op_id)] = ActiveRequest(
+        entry=entry, host_ep=ep, op="pause", span_id=msg.get("span", 0),
+        op_id=op_id)
     svc.ensure_monitor()
-    yield from ep.send({"t": c.PAUSE_ACK})
+    yield from ep.send({"t": c.PAUSE_ACK, "op_id": op_id})
     sp.finish()
 
 
@@ -172,31 +218,38 @@ def _handle_simple_forward(daemon, svc: SnapifyService, ep, msg, pipe_op: str):
     monitor thread relays the completion status back to the host."""
     entry = _entry(daemon, msg["pid"])
     if entry.pipe is None:
-        raise SnapifyError(f"{pipe_op}: no pipe to pid {msg['pid']} (pause first)")
-    req = svc.active.get(msg["pid"])
+        raise SnapifyError(f"{pipe_op}: no pipe to pid {msg['pid']} (pause first)",
+                           op_id=msg.get("op_id") or None, phase=pipe_op)
+    key = (msg["pid"], msg.get("op_id", 0))
+    req = svc.active.get(key)
     if req is None:
-        req = ActiveRequest(entry=entry, host_ep=ep, op=pipe_op)
-        svc.active[msg["pid"]] = req
+        req = ActiveRequest(entry=entry, host_ep=ep, op=pipe_op, op_id=key[1])
+        svc.active[key] = req
     req.op, req.host_ep = pipe_op, ep
     req.span_id = msg.get("span", 0)
     svc.ensure_monitor()
     yield from entry.pipe.send({"op": pipe_op, "path": msg.get("path"),
                                 "localstore_node": msg.get("localstore_node", 0),
-                                "span": msg.get("span", 0)})
+                                "span": msg.get("span", 0),
+                                "op_id": key[1]})
 
 
 def _handle_capture(daemon, svc: SnapifyService, ep, msg):
     entry = _entry(daemon, msg["pid"])
     if entry.pipe is None:
-        raise SnapifyError("capture before pause")
-    req = svc.active.get(msg["pid"]) or ActiveRequest(entry=entry, host_ep=ep, op="capture")
+        raise SnapifyError("capture before pause",
+                           op_id=msg.get("op_id") or None, phase="capture")
+    key = (msg["pid"], msg.get("op_id", 0))
+    req = svc.active.get(key) or ActiveRequest(entry=entry, host_ep=ep,
+                                               op="capture", op_id=key[1])
     req.op, req.host_ep = "capture", ep
     req.terminate_after = bool(msg.get("terminate"))
     req.span_id = msg.get("span", 0)
-    svc.active[msg["pid"]] = req
+    svc.active[key] = req
     svc.ensure_monitor()
     yield from entry.pipe.send({"op": "capture", "path": msg["path"],
-                                "span": msg.get("span", 0)})
+                                "span": msg.get("span", 0),
+                                "op_id": key[1]})
 
 
 def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
@@ -273,12 +326,15 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     yield listening
     ack = yield pipe.a.recv()  # restored agent announces itself
     if ack.get("t") != c.PAUSE_ACK:
-        raise SnapifyError(f"restored agent bad hello: {ack!r}")
-    svc.active[proc.pid] = ActiveRequest(entry=entry, host_ep=ep, op="restore",
-                                         span_id=msg.get("span", 0))
+        raise SnapifyError(f"restored agent bad hello: {ack!r}",
+                           op_id=msg.get("op_id") or None, phase="restore")
+    op_id = msg.get("op_id", 0)
+    svc.active[(proc.pid, op_id)] = ActiveRequest(
+        entry=entry, host_ep=ep, op="restore", span_id=msg.get("span", 0),
+        op_id=op_id)
     svc.ensure_monitor()
     yield from ep.send({"t": "restore-complete", "port": port, "pid": proc.pid,
-                        "offload_proc": proc})
+                        "offload_proc": proc, "op_id": op_id})
     sp.finish(pid=proc.pid)
 
 

@@ -15,13 +15,11 @@ from ..coi.process import COIProcess
 from ..osim.fd import RegularFileFD
 from ..osim.process import OSInstance, SimProcess
 from .api import (
-    snapify_capture,
-    snapify_pause,
     snapify_restore,
     snapify_resume,
     snapify_t,
-    snapify_wait,
 )
+from .ops import OperationManager, capture_sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -52,28 +50,30 @@ def checkpoint_offload_app(snap: snapify_t):
     root = sim.trace.span("snapify.checkpoint", parent=snap.span,
                           pid=coiproc.offload_proc.pid, proc=host_proc.name)
     snap.span = root
+    OperationManager.of(sim).begin("checkpoint", snap, span=root)
 
-    yield from snapify_pause(snap)
-    yield from snapify_capture(snap, terminate=False)
+    box = {}
 
-    # Host snapshot proceeds in parallel with the offload capture.
-    t_host0 = sim.now
-    sp = sim.trace.span("checkpoint.host_snapshot", parent=root, proc=host_proc.name)
-    # Host BLCR context writes are effectively synchronous (kernel-side
-    # direct writes): the disk, not the page cache, paces the host snapshot.
-    fd = RegularFileFD(sim, host_proc.os.fs, host_context_path(snap.snapshot_path), "w",
-                       sync=True)
-    host_ctx = yield from cr_checkpoint(host_proc, fd)
-    fd.close()
-    snap.timings["host_snapshot"] = sim.now - t_host0
-    snap.sizes["host_snapshot"] = host_ctx.image_bytes
-    sp.finish(bytes=host_ctx.image_bytes)
+    def _host_snapshot():
+        # Host snapshot proceeds in parallel with the offload capture.
+        t_host0 = sim.now
+        sp = sim.trace.span("checkpoint.host_snapshot", parent=root,
+                            proc=host_proc.name)
+        # Host BLCR context writes are effectively synchronous (kernel-side
+        # direct writes): the disk, not the page cache, paces the host snapshot.
+        fd = RegularFileFD(sim, host_proc.os.fs,
+                           host_context_path(snap.snapshot_path), "w", sync=True)
+        host_ctx = yield from cr_checkpoint(host_proc, fd)
+        fd.close()
+        snap.timings["host_snapshot"] = sim.now - t_host0
+        snap.sizes["host_snapshot"] = host_ctx.image_bytes
+        sp.finish(bytes=host_ctx.image_bytes)
+        box["host_ctx"] = host_ctx
 
-    yield from snapify_wait(snap)
-    yield from snapify_resume(snap)
+    yield from capture_sequence(snap, between=_host_snapshot())
     snap.timings["checkpoint_total"] = sim.now - t0
     root.finish(elapsed=snap.timings["checkpoint_total"])
-    return host_ctx
+    return box["host_ctx"]
 
 
 def restart_offload_app(
@@ -101,6 +101,7 @@ def restart_offload_app(
     sp.finish()
 
     snap = snapify_t(snapshot_path=snapshot_path, span=root)
+    OperationManager.of(sim).begin("restart", snap, span=root)
     t1 = sim.now
     new_handle = yield from snapify_restore(snap, engine, host_proc)
     host_proc.runtime["coi_restored_handle"] = new_handle
@@ -120,6 +121,16 @@ class RestartResult:
         self.host_proc = host_proc
         self.coiproc = coiproc
         self.snap = snap
+
+    @property
+    def result(self):
+        """The restart's typed :class:`~repro.snapify.ops.OperationResult`."""
+        return snap_result(self.snap)
+
+
+def snap_result(snap: snapify_t):
+    """The OperationResult of a handle's (terminal) operation, or None."""
+    return snap.op.result if snap.op is not None else None
 
 
 # ---------------------------------------------------------------------------
@@ -142,10 +153,9 @@ def snapify_swapout(snapshot_path: str, coiproc: COIProcess,
                           proc=coiproc.host_proc.name)
     snap = snapify_t(snapshot_path=snapshot_path, coiproc=coiproc,
                      localstore_node=localstore_node, span=root)
+    OperationManager.of(sim).begin("swapout", snap, span=root)
     t0 = sim.now
-    yield from snapify_pause(snap)
-    yield from snapify_capture(snap, terminate=True)
-    yield from snapify_wait(snap)
+    yield from capture_sequence(snap, terminate=True)
     snap.timings["swapout_total"] = sim.now - t0
     root.finish(elapsed=snap.timings["swapout_total"])
     return snap
@@ -164,6 +174,7 @@ def snapify_swapin(snap: snapify_t, engine: COIEngine, host_proc: Optional[SimPr
     root = sim.trace.span("snapify.swapin", parent=parent,
                           device=engine.device_id, proc=host_proc.name)
     snap.span = root
+    OperationManager.of(sim).begin("swapin", snap, span=root)
     new = yield from snapify_restore(snap, engine, host_proc)
     yield from snapify_resume(snap)
     snap.timings["swapin_total"] = sim.now - t0

@@ -4,6 +4,12 @@ Booting the full stack (hardware node, host + card OSes, COI daemons,
 Snapify-IO daemons) takes a dozen steps; examples, tests and benchmarks all
 need it. :class:`XeonPhiServer` assembles one server; :class:`XeonPhiCluster`
 assembles the 4-node MPI testbed of §7.
+
+The module-level helpers carry the topology boilerplate the demos share:
+:func:`offload_app` builds an offload benchmark from its catalog name,
+:func:`offload_process` spawns a raw host + offload process pair with
+pre-populated buffers, and :func:`mz_job` stands up an MPI NAS-MZ job on a
+cluster.
 """
 
 from __future__ import annotations
@@ -106,3 +112,54 @@ class XeonPhiCluster:
         t = self.sim.spawn(gen, name=name)
         self.sim.run_until(t.done)
         return t.done.value
+
+
+# ---------------------------------------------------------------------------
+# Topology helpers — the per-demo boilerplate, shared.
+# ---------------------------------------------------------------------------
+
+
+def offload_app(server: XeonPhiServer, benchmark: str, *,
+                iterations: Optional[int] = None, device: int = 0,
+                name: Optional[str] = None, snapify_enabled: bool = True):
+    """An :class:`~repro.apps.OffloadApplication` built from the named
+    OPENMP benchmark profile (``"CG"``, ``"MC"``, ``"KM"``…), optionally
+    shortened to ``iterations``."""
+    from .apps import OPENMP_BENCHMARKS, OffloadApplication
+
+    return OffloadApplication(
+        server, OPENMP_BENCHMARKS[benchmark], device=device,
+        iterations=iterations, name=name, snapify_enabled=snapify_enabled,
+    )
+
+
+def offload_process(server: XeonPhiServer, name: str, binary, *,
+                    device: int = 0, image_size: Optional[int] = None,
+                    buffers=()):
+    """Sub-generator: spawn a host process, create its offload process from
+    ``binary`` on card ``device``, and populate one COI buffer per
+    ``(size, payload)`` entry of ``buffers``. Returns ``(coiproc, bufs)``.
+
+    This is the hand-rolled prologue of every raw-API demo and protocol
+    test; snapshot handles take the returned ``coiproc`` directly.
+    """
+    if image_size is None:
+        image_size = 4 * 1024 * 1024
+    host_proc = yield from server.host_os.spawn_process(name, image_size=image_size)
+    coiproc = yield from server.engine(device).process_create(host_proc, binary)
+    bufs = []
+    for size, payload in buffers:
+        buf = yield from coiproc.buffer_create(size)
+        yield from coiproc.buffer_write(buf, payload=payload)
+        bufs.append(buf)
+    return coiproc, bufs
+
+
+def mz_job(cluster: "XeonPhiCluster", benchmark: str, *, n_ranks: int = 4,
+           iterations: Optional[int] = None):
+    """An MPI NAS-MZ job (one rank per node) from its catalog name."""
+    from .apps import NAS_MZ_BENCHMARKS
+    from .apps.nas_mz import MZJob
+
+    return MZJob(cluster, NAS_MZ_BENCHMARKS[benchmark], n_ranks=n_ranks,
+                 iterations=iterations)
