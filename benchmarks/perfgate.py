@@ -165,6 +165,37 @@ def wl_concurrent_checkpoints(n_procs=4):
     return next(sim._seq)  # total kernel events scheduled
 
 
+def wl_remote_checkpoint(n_files=6):
+    """Fault-free resilient transfers off a card through TransferManager:
+    proves the retry/fallback machinery adds no overhead when nothing
+    fails (every file must go first-try over Snapify-IO). ops = kernel
+    events, like wl_snapshot_cycle.
+    """
+    from repro.hw import MB
+    from repro.snapify import transfer_snapshot
+    from repro.testbed import XeonPhiServer
+
+    sim = Simulator()
+    server = XeonPhiServer(sim=sim)
+
+    def driver(s):
+        src_os = server.phi_os(0)
+        yield from src_os.fs.write("/bench/src", 64 * MB, payload=["rc"])
+        results = []
+        for i in range(n_files):
+            res = yield from transfer_snapshot(
+                src_os, 0, "/bench/src", f"/bench/dst{i}", kind="remote-checkpoint"
+            )
+            results.append(res)
+        return results
+
+    results = server.run(driver(sim))
+    assert all(
+        r.ok and r.channel == "snapifyio" and r.attempts == 1 for r in results
+    ), "fault-free transfer retried or degraded"
+    return next(sim._seq)  # total kernel events scheduled
+
+
 WORKLOADS = {
     "event_dispatch": wl_event_dispatch,
     "ping_pong": wl_ping_pong,
@@ -172,6 +203,7 @@ WORKLOADS = {
     "timer_storm": wl_timer_storm,
     "snapshot_cycle": wl_snapshot_cycle,
     "concurrent_checkpoints": wl_concurrent_checkpoints,
+    "remote_checkpoint": wl_remote_checkpoint,
 }
 
 

@@ -28,7 +28,9 @@ def default_faults(scenario: str, seed: int) -> List[Dict[str, Any]]:
     Scenarios that use both cards (migrate) and the phase-injection
     scenarios (checkpoint_fault:*) carry their fault in the scenario itself.
     """
-    base = scenario.partition(":")[0]
+    base, _, mode = scenario.partition(":")
+    if base == "transfer_fault":
+        return _transfer_faults(mode, seed)
     if base not in _SPARE_CARD_SCENARIOS:
         return []
     variant = seed % 3
@@ -39,6 +41,42 @@ def default_faults(scenario: str, seed: int) -> List[Dict[str, Any]]:
         fault["warning_lead"] = 0.1
         fault["repair_after"] = 0.5
     return [fault]
+
+
+def _transfer_faults(mode: str, seed: int) -> List[Dict[str, Any]]:
+    """Deterministic fault plans for the ``transfer_fault:<mode>`` sweep.
+
+    The scenario starts its transfer 0.3 s after boot with a ~1 s retry
+    horizon per channel, so the windows below land before, inside, and
+    after the transfer as the seed varies:
+
+    * ``flap`` — the card's PCIe link flaps transiently and comes back:
+      Snapify-IO should retry/resume and still carry the file.
+    * ``daemon_crash`` — the host Snapify-IO daemon crashes and restarts:
+      retries either land after the restart or degrade to NFS.
+    * ``fallback`` — a daemon endpoint dies for good: the chain must
+      degrade and the file must still arrive.
+    * ``cascade`` — Snapify-IO, NFS, and the link are all taken down: the
+      transfer must fail *cleanly* with the aggregated cause chain.
+    """
+    if mode == "flap":
+        return [{"kind": "link_flap", "device": 0,
+                 "at": 0.31 + 0.01 * (seed % 8),
+                 "up_after": 0.05 + 0.05 * (seed % 3)}]
+    if mode == "daemon_crash":
+        return [{"kind": "io_daemon_crash", "node": 0,
+                 "at": 0.3 + 0.02 * (seed % 6),
+                 "restart_after": 0.08 + 0.04 * (seed % 2)}]
+    if mode == "fallback":
+        return [{"kind": "io_daemon_crash", "node": seed % 2,
+                 "at": 0.3 + 0.02 * (seed % 5)}]
+    if mode == "cascade":
+        return [
+            {"kind": "io_daemon_crash", "node": 0, "at": 0.3},
+            {"kind": "nfs_down", "at": 0.3 + 0.01 * (seed % 4)},
+            {"kind": "link_flap", "device": 0, "at": 0.32 + 0.01 * (seed % 4)},
+        ]
+    raise ValueError(f"unknown transfer_fault mode {mode!r}")
 
 
 @dataclass

@@ -259,6 +259,98 @@ def operations_quiescent(server: "XeonPhiServer") -> List[Violation]:
     return out
 
 
+def no_truncated_commits(server: "XeonPhiServer") -> List[Violation]:
+    """No committed remote file is shorter than its committed length.
+
+    The Snapify-IO write protocol's core durability promise: a ``done/ok``
+    reply means every byte of the stream is applied. Each daemon's commit
+    ledger records the byte total it confirmed; a committed file that is
+    missing or shorter than its ledger entry means a truncated stream was
+    acknowledged — the exact bug the abort/resume protocol exists to
+    prevent. (A *longer* file is fine — a later transfer may legitimately
+    overwrite the path — and a *missing* file is fine too: consumers
+    legitimately unlink committed staging files once applied, e.g.
+    migration's card-to-card local store after restore.)
+    """
+    out: List[Violation] = []
+    for label, _mem, os in _pools(server):
+        daemon = getattr(os, "snapify_io_daemon", None)
+        if daemon is None:
+            continue
+        for path, total in daemon.commits.items():
+            if not os.fs.exists(path):
+                continue  # consumed and unlinked: not a truncation
+            if os.fs.stat(path).size < total:
+                out.append(Violation(
+                    "no_truncated_commits",
+                    f"{label}: {path} committed at {total} bytes but holds "
+                    f"{os.fs.stat(path).size}",
+                ))
+    return out
+
+
+def staging_buffers_released(server: "XeonPhiServer") -> List[Violation]:
+    """RDMA staging-buffer accounting matches the open registration windows.
+
+    Every byte in a pool's ``rdma_staging`` category must be backed by a
+    window on a currently *open* SCIF endpoint of that OS, and a closed
+    endpoint must hold no windows — a mismatch means a connection reset (or
+    daemon crash) leaked a registration, the bug class transient link flaps
+    expose.
+    """
+    from ..scif.endpoint import ScifNetwork
+
+    out: List[Violation] = []
+    net = ScifNetwork.of(server.node)
+    for label, mem, os in _pools(server):
+        held = mem.by_category.get("rdma_staging", 0)
+        windows = 0
+        for ep in net.endpoints:
+            if ep.os is not os:
+                continue
+            if ep.closed:
+                if ep.windows:
+                    out.append(Violation(
+                        "staging_buffers_released",
+                        f"{label}: closed ep{ep.eid} still holds "
+                        f"{len(ep.windows)} registered window(s)",
+                    ))
+                continue
+            windows += sum(ep.windows.values())
+        if held != windows:
+            out.append(Violation(
+                "staging_buffers_released",
+                f"{label}: rdma_staging accounts {held} bytes but open "
+                f"endpoints register {windows}",
+            ))
+    return out
+
+
+def retry_accounting(server: "XeonPhiServer") -> List[Violation]:
+    """Retry/fallback counters are consistent with the injected faults.
+
+    A run in which the fault injector executed nothing must not have
+    retried, degraded, or aborted anything: nonzero resilience counters on
+    a clean run mean the transfer path is failing (and recovering) on its
+    own, which would silently mask real regressions.
+    """
+    from ..obs.registry import MetricsRegistry
+
+    injector = getattr(server, "fault_injector", None)
+    if injector is None or injector.injected:
+        return []  # faults ran (or no injector attached): retries are legal
+    counters = MetricsRegistry.of(server.sim).snapshot()["counters"]
+    out: List[Violation] = []
+    for name in ("snapifyio.retries", "snapifyio.fallbacks", "snapifyio.aborts"):
+        n = counters.get(name, 0)
+        if n:
+            out.append(Violation(
+                "retry_accounting",
+                f"{name} = {n} with no injected faults",
+            ))
+    return out
+
+
 #: All oracles, in check order. ``check_all`` runs every one of these.
 ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     memory_accounting,
@@ -269,6 +361,9 @@ ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     monitor_quiescent,
     staging_drained,
     operations_quiescent,
+    no_truncated_commits,
+    staging_buffers_released,
+    retry_accounting,
     no_crashed_threads,
 ]
 

@@ -40,12 +40,15 @@ from ..snapify import (
     snapshot_application,
 )
 from ..snapify.ops import OperationManager
+from ..snapify.usecases import transfer_snapshot
+from ..snapify_io import RetryPolicy, SnapifyIOError, TransferFailed, TransferManager
 from ..testbed import XeonPhiServer, offload_app
 from .oracles import Violation, check_all
 
 #: Errors a faulted run may legitimately surface instead of completing:
 #: the protocol's documented failure reports, not crashes.
-CLEAN_ERRORS = (SnapifyError, COIError, ScifError, ConnectionReset, MemoryExhausted)
+CLEAN_ERRORS = (SnapifyError, COIError, ScifError, ConnectionReset, MemoryExhausted,
+                SnapifyIOError)
 
 #: Phase boundaries at which ``checkpoint_fault`` injects the card failure.
 CHECKPOINT_FAULT_PHASES = (
@@ -55,6 +58,11 @@ CHECKPOINT_FAULT_PHASES = (
     "after_wait",
     "after_resume",
 )
+
+#: Fault shapes the ``transfer_fault`` scenario is fuzzed under (the mode
+#: rides in the name, ``transfer_fault:<mode>``; the fuzzer derives the
+#: per-seed fault plan from it — see :func:`repro.check.fuzz.default_faults`).
+TRANSFER_FAULT_MODES = ("flap", "daemon_crash", "fallback", "cascade")
 
 ITERATIONS = 8
 _GRACE = 5.0  # simulated seconds a faulted app may take to surface its error
@@ -270,6 +278,66 @@ def _concurrent_checkpoint(server, app, injector, phase, faults):
     return {"outcome": "completed", "violations": bad}
 
 
+def _transfer_fault(server, app, injector, phase, faults):
+    """A snapshot transfer off card 0 under transient transfer-path faults.
+
+    ``phase`` carries the fault mode (see :data:`TRANSFER_FAULT_MODES`);
+    the actual fault plan arrives through ``faults`` and was scheduled by
+    :func:`run_scenario` before we start. Acceptable outcomes: the transfer
+    completes (possibly on a degraded channel — the destination file must
+    then be exact), or the whole chain is down and the operation fails
+    *cleanly* with the aggregated cause chain and no committed destination
+    file. Anything else — a truncated commit, a wedged operation, a leaked
+    staging buffer — the oracles catch.
+    """
+    sim = server.sim
+    src_os = server.phi_os(0)
+    src_path, dst_path = "/fz/tf_src", "/fz/tf_dst"
+    size = 256 * MB
+    yield from src_os.fs.write(src_path, size, payload=["tf-payload"])
+    yield sim.timeout(0.3)
+    # Tuned so the fuzzer's fault windows land inside the retry horizon:
+    # 4 attempts spanning roughly a second of backoff per channel.
+    policy = RetryPolicy(attempts=4, base_delay=0.04, multiplier=2.0,
+                         max_delay=0.5, jitter=0.25)
+    bad: List[Violation] = []
+    try:
+        result = yield from transfer_snapshot(
+            src_os, 0, src_path, dst_path, kind="transfer-fault",
+            manager=TransferManager(policy=policy),
+        )
+    except TransferFailed as exc:
+        # The whole chain was down: the failure must be loud AND the
+        # destination must never have been committed.
+        host_daemon = getattr(server.host_os, "snapify_io_daemon", None)
+        if host_daemon is not None and dst_path in host_daemon.commits:
+            bad.append(Violation(
+                "transfer_fault",
+                f"{dst_path} committed although the transfer failed: {exc}",
+            ))
+        return {"outcome": "faulted", "error": repr(exc), "violations": bad}
+    if not server.host_os.fs.exists(dst_path):
+        bad.append(Violation("transfer_fault", f"{dst_path} missing after ok"))
+    elif server.host_os.fs.stat(dst_path).size != size:
+        bad.append(Violation(
+            "transfer_fault",
+            f"{dst_path} holds {server.host_os.fs.stat(dst_path).size} bytes, "
+            f"expected {size}",
+        ))
+    elif server.host_os.fs.stat(dst_path).payload != ["tf-payload"]:
+        bad.append(Violation(
+            "transfer_fault", f"{dst_path} payload corrupted across transfer"
+        ))
+    if result.channel == "snapifyio":
+        host_daemon = getattr(server.host_os, "snapify_io_daemon", None)
+        if host_daemon is None or host_daemon.commits.get(dst_path) != size:
+            bad.append(Violation(
+                "transfer_fault",
+                f"{dst_path}: snapifyio success without a matching commit entry",
+            ))
+    return {"outcome": "completed", "violations": bad}
+
+
 SCENARIOS = {
     "checkpoint": _checkpoint,
     "restart": _restart,
@@ -277,13 +345,15 @@ SCENARIOS = {
     "migrate": _migrate,
     "concurrent_checkpoint": _concurrent_checkpoint,
     "checkpoint_fault": _checkpoint_fault,
+    "transfer_fault": _transfer_fault,
 }
 
 
 def scenario_names() -> List[str]:
-    """All runnable names, with checkpoint_fault expanded per phase."""
-    names = [n for n in SCENARIOS if n != "checkpoint_fault"]
+    """All runnable names, with parameterized scenarios expanded."""
+    names = [n for n in SCENARIOS if n not in ("checkpoint_fault", "transfer_fault")]
     names.extend(f"checkpoint_fault:{p}" for p in CHECKPOINT_FAULT_PHASES)
+    names.extend(f"transfer_fault:{m}" for m in TRANSFER_FAULT_MODES)
     return names
 
 
@@ -317,11 +387,16 @@ def run_scenario(
 ) -> RunResult:
     """Run one scenario under one schedule seed and fault plan.
 
-    ``name`` is a scenario key, optionally ``checkpoint_fault:<phase>``.
-    ``faults`` entries are dicts: ``{"device", "at"}`` plus optional
-    ``"warning_lead"`` / ``"repair_after"`` schedule a timed card failure
-    through :class:`FaultInjector`; entries with ``"phase"`` select the
-    injection boundary of the ``checkpoint_fault`` scenario.
+    ``name`` is a scenario key, optionally ``checkpoint_fault:<phase>`` or
+    ``transfer_fault:<mode>``. ``faults`` entries are dicts dispatched on
+    their ``"kind"`` (default ``card_failure``): ``card_failure`` takes
+    ``{"device", "at"}`` plus optional ``"warning_lead"`` /
+    ``"repair_after"``; ``link_flap`` takes ``{"device", "at"}`` plus
+    optional ``"up_after"``; ``io_daemon_crash`` takes ``{"node", "at"}``
+    (SCIF numbering: 0 = host) plus optional ``"restart_after"``;
+    ``nfs_down`` takes ``{"at"}`` plus optional ``"restore_after"``.
+    Entries with ``"phase"`` select the injection boundary of the
+    ``checkpoint_fault`` scenario.
     """
     base, _, phase = name.partition(":")
     try:
@@ -332,6 +407,7 @@ def run_scenario(
     sim = Simulator(schedule_seed=seed, trace=capture_trace)
     server = XeonPhiServer(sim=sim)
     injector = FaultInjector(sim)
+    server.fault_injector = injector  # the retry_accounting oracle audits it
     app = _mk_app(server)
     phase = phase or next((f["phase"] for f in faults if "phase" in f), None)
     for f in faults:
@@ -339,12 +415,33 @@ def run_scenario(
             continue
         # Fault times are offsets after testbed boot (boot itself consumes
         # simulated time, deterministically per seed).
-        injector.schedule_card_failure(
-            server.node.phis[f["device"]],
-            at=sim.now + f["at"],
-            warning_lead=f.get("warning_lead"),
-            repair_after=f.get("repair_after"),
-        )
+        kind = f.get("kind", "card_failure")
+        if kind == "card_failure":
+            injector.schedule_card_failure(
+                server.node.phis[f["device"]],
+                at=sim.now + f["at"],
+                warning_lead=f.get("warning_lead"),
+                repair_after=f.get("repair_after"),
+            )
+        elif kind == "link_flap":
+            injector.schedule_link_flap(
+                server.node.phis[f["device"]],
+                at=sim.now + f["at"],
+                up_after=f.get("up_after"),
+            )
+        elif kind == "io_daemon_crash":
+            os_ = server.host_os if f["node"] == 0 else server.phi_os(f["node"] - 1)
+            injector.schedule_io_daemon_crash(
+                os_, at=sim.now + f["at"],
+                restart_after=f.get("restart_after"),
+            )
+        elif kind == "nfs_down":
+            injector.schedule_nfs_outage(
+                server.node, at=sim.now + f["at"],
+                restore_after=f.get("restore_after"),
+            )
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
 
     outcome = "crash"
     error = error_type = None

@@ -31,6 +31,9 @@ class PhiDevice:
             sim, params.memory, name=f"{node.name}.mic{index}.mem"
         )
         self.link = PCIeLink(sim, node.params.pcie, name=f"{node.name}.pcie{index}")
+        #: Transient link fault (FaultInjector link flap): while True, new
+        #: SCIF connections and PCIe-routed transfers to/from this card fail.
+        self.link_down = False
         #: Set by the OS layer when it boots a kernel on this card.
         self.os = None
 
@@ -62,9 +65,18 @@ class ServerNode:
         return self.phis[index]
 
     def scif_peer(self, scif_node_id: int):
-        """Resolve a SCIF node id to (host | PhiDevice)."""
+        """Resolve a SCIF node id to (host | PhiDevice).
+
+        Bounds are checked explicitly: a negative id would otherwise wrap
+        through Python list indexing and silently resolve to the wrong card.
+        """
         if scif_node_id == 0:
             return self
+        if not 1 <= scif_node_id <= len(self.phis):
+            raise ValueError(
+                f"{self.name}: no SCIF node {scif_node_id} "
+                f"(valid: 0..{len(self.phis)})"
+            )
         return self.phis[scif_node_id - 1]
 
     def link_to_phi(self, index: int) -> PCIeLink:

@@ -15,6 +15,7 @@ and replays failure artifacts:
 
     snapify fuzz --seeds 50                    # all scenarios x 50 seeds
     snapify fuzz --scenario migrate --seeds 10
+    snapify fuzz --scenario transfer_fault --seeds 50   # 4 fault modes x 50
     snapify fuzz --seeds 200 --artifact-dir fuzz_artifacts
     snapify fuzz --replay fuzz_artifacts/repro_migrate_seed7.json
 

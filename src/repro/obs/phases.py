@@ -259,7 +259,7 @@ def operation_table(tracer: "Tracer") -> "ResultTable":
     """All operations of a traced run as one per-phase table."""
     ResultTable, fmt_time = _tables()
     timelines = operation_timelines(tracer)
-    phase_cols = ["pausing", "drained", "capturing", "transferring"]
+    phase_cols = ["pausing", "drained", "capturing", "transferring", "retrying"]
     t = ResultTable(
         "Operations (state-machine phase breakdown)",
         ["op", "kind", "pid", *phase_cols, "total", "state"],

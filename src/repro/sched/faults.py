@@ -23,6 +23,11 @@ class FaultInjector:
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.failed: List[PhiDevice] = []
+        #: Audit log of every fault actually executed ("card_failure:0",
+        #: "link_flap:1", ...). The ``retry_accounting`` oracle checks the
+        #: retry/fallback counters against this: a run with no injected
+        #: faults must not have retried anything.
+        self.injected: List[str] = []
         #: Subscribers to degradation telemetry: fn(device, time_to_failure).
         #: Dispatch order is subscription order over a snapshot taken when
         #: the warning fires — subscribers added or removed *during* dispatch
@@ -98,6 +103,7 @@ class FaultInjector:
         if phi in self.failed:
             return
         self.failed.append(phi)
+        self.injected.append(f"card_failure:{phi.index}")
         phi.failed = True  # type: ignore[attr-defined]
         if phi.os is not None:
             for proc in list(phi.os.processes.values()):
@@ -122,3 +128,93 @@ class FaultInjector:
 
     def is_failed(self, phi: PhiDevice) -> bool:
         return phi in self.failed
+
+    # -- transient transfer-path faults ------------------------------------
+    def schedule_link_flap(
+        self, phi: PhiDevice, at: float, up_after: Optional[float] = None
+    ) -> None:
+        """Down ``phi``'s PCIe link at time ``at``; restore after
+        ``up_after`` seconds (``None`` = the link stays down).
+
+        A flap resets every SCIF endpoint crossing the link — in-flight
+        RDMA transfers see :class:`ConnectionReset`, exactly the failure the
+        resume protocol recovers from."""
+        if at < self.sim.now:
+            raise ValueError("cannot schedule a flap in the past")
+        self.sim.schedule(at - self.sim.now, self.flap_link_now, phi, up_after)
+
+    def flap_link_now(self, phi: PhiDevice, up_after: Optional[float] = None) -> None:
+        """Down the link immediately (synchronous, fuzzer hook)."""
+        self.injected.append(f"link_flap:{phi.index}")
+        phi.link_down = True
+        from ..scif.endpoint import ScifNetwork
+
+        net = ScifNetwork.of(phi.node)
+        for ep in list(net.endpoints):
+            if ep.closed:
+                continue
+            if ep.os.hw is phi or (ep.peer is not None and ep.peer.os.hw is phi):
+                ep.close()
+        if up_after is not None:
+            if up_after <= 0:
+                raise ValueError("up_after must be positive")
+            self.sim.schedule(up_after, self._unflap, phi)
+
+    def _unflap(self, phi: PhiDevice) -> None:
+        phi.link_down = False
+
+    def schedule_io_daemon_crash(
+        self, os, at: float, restart_after: Optional[float] = None
+    ) -> None:
+        """Crash the Snapify-IO daemon on ``os`` at time ``at``; optionally
+        re-boot it ``restart_after`` seconds later."""
+        if at < self.sim.now:
+            raise ValueError("cannot schedule a crash in the past")
+        self.sim.schedule(at - self.sim.now, self.crash_io_daemon_now, os, restart_after)
+
+    def crash_io_daemon_now(self, os, restart_after: Optional[float] = None) -> None:
+        """Kill the daemon process immediately (synchronous, fuzzer hook).
+
+        Terminating the process closes its listeners, local sockets, and
+        SCIF endpoints (they ride ``open_fds``), so clients see connection
+        resets rather than silent hangs."""
+        daemon = getattr(os, "snapify_io_daemon", None)
+        if daemon is None or daemon.proc is None:
+            return
+        self.injected.append(f"io_daemon_crash:{os.name}")
+        os.snapify_io_daemon = None
+        daemon.proc.terminate(code=137)
+        if restart_after is not None:
+            if restart_after <= 0:
+                raise ValueError("restart_after must be positive")
+
+            def reboot(sim):
+                from ..snapify_io.daemon import SnapifyIODaemon
+
+                yield sim.timeout(restart_after)
+                yield from SnapifyIODaemon.boot(os)
+
+            self.sim.spawn(reboot(self.sim), name=f"io-daemon-restart:{os.name}",
+                           daemon=True)
+
+    def schedule_nfs_outage(
+        self, node, at: float, restore_after: Optional[float] = None
+    ) -> None:
+        """Stop the host's NFS export at time ``at`` (clients see 'server
+        not responding'); optionally restore it ``restore_after`` seconds
+        later."""
+        if at < self.sim.now:
+            raise ValueError("cannot schedule an outage in the past")
+
+        def stop() -> None:
+            self.injected.append("nfs_outage")
+            node.os.fs.exported = False
+
+        def restore() -> None:
+            node.os.fs.exported = True
+
+        self.sim.schedule(at - self.sim.now, stop)
+        if restore_after is not None:
+            if restore_after <= 0:
+                raise ValueError("restore_after must be positive")
+            self.sim.schedule(at + restore_after - self.sim.now, restore)

@@ -119,6 +119,11 @@ class ScifNetwork:
                 return phi.scif_node_id
         raise ScifError(f"{os.name} is not on node {self.node.name}")
 
+    def has_listener(self, dst_node_id: int, dst_port: int) -> bool:
+        """True if something is bound on (node, port) — the fail-fast probe
+        ``snapifyio_open`` uses instead of hanging in the handshake."""
+        return (dst_node_id, dst_port) in self._listeners
+
     # -- connecting --------------------------------------------------------------
     def connect(
         self,
@@ -133,6 +138,9 @@ class ScifNetwork:
         if backlog is None:
             raise ScifError(f"connection refused: SCIF {key}")
         dst_os = self.os_for_scif_node(dst_node_id)
+        for os_ in (src_os, dst_os):
+            if getattr(getattr(os_, "hw", None), "link_down", False):
+                raise ScifError(f"connect: PCIe link down on {os_.name}")
         client = ScifEndpoint(self.sim, src_os, port=next(self._ephemeral), proc=proc)
         server = ScifEndpoint(self.sim, dst_os, port=dst_port)
         client._attach(server)
@@ -266,6 +274,11 @@ class ScifEndpoint:
         if self.closed:
             return
         self.closed = True
+        if self.windows:
+            # Release the pinned-page accounting for every window still
+            # registered: a reset connection must not strand staging bytes
+            # (the `staging_buffers_released` oracle pins this).
+            self.os.memory.free(sum(self.windows.values()), "rdma_staging")
         self.windows.clear()
         self._fail_queued_sync_acks(self._rx, f"ep{self.eid} closed")
         self._rx.close(ConnectionReset(f"ep{self.eid} closed"))

@@ -57,7 +57,11 @@ def _pcie_params(os: "OSInstance"):
 def scif_register(ep: ScifEndpoint, nbytes: int):
     """Sub-generator: register ``nbytes`` on ``ep``; returns the offset.
 
-    Charges the page-pinning cost locally (no PCIe traffic).
+    Charges the page-pinning cost locally (no PCIe traffic), and accounts
+    the pinned range against the OS's physical memory under the
+    ``rdma_staging`` category so leaked registrations are visible to the
+    memory-accounting and ``staging_buffers_released`` oracles. The bytes
+    are released by ``scif_unregister`` or by ``ScifEndpoint.close()``.
     """
     if ep.closed:
         raise ScifError(f"ep{ep.eid}: register on closed endpoint")
@@ -68,6 +72,7 @@ def scif_register(ep: ScifEndpoint, nbytes: int):
         nbytes / (1024 * 1024)
     )
     yield ep.sim.timeout(cost)
+    ep.os.memory.allocate(nbytes, "rdma_staging")
     offset = RdmaRegistry.of(ep.os).allocate_offset(nbytes)
     ep.windows[offset] = nbytes
     return offset
@@ -76,6 +81,7 @@ def scif_register(ep: ScifEndpoint, nbytes: int):
 def scif_unregister(ep: ScifEndpoint, offset: int) -> None:
     if offset not in ep.windows:
         raise ScifError(f"ep{ep.eid}: unregister of unknown offset {offset:#x}")
+    ep.os.memory.free(ep.windows[offset], "rdma_staging")
     del ep.windows[offset]
 
 

@@ -32,6 +32,7 @@ from .usecases import (
     snapify_migration,
     snapify_swapin,
     snapify_swapout,
+    transfer_snapshot,
 )
 
 __all__ = [
@@ -62,4 +63,5 @@ __all__ = [
     "snapify_swapout",
     "snapify_t",
     "snapify_wait",
+    "transfer_snapshot",
 ]

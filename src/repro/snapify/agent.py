@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..blcr import cr_request_checkpoint
 from ..coi.process import CardRuntime
+from ..obs.registry import MetricsRegistry
 from ..osim.process import SimProcess
 from ..snapify_io.library import snapifyio_open
 from . import constants as c
@@ -82,18 +83,7 @@ def agent_loop(proc: SimProcess, pipe_end):
             sp.finish(localstore_bytes=ls_bytes)
         elif op == "capture":
             sp = sim.trace.span("agent.capture", parent=parent, proc=proc.name)
-            fd = yield from snapifyio_open(
-                proc.os, node=0, path=c.context_path(msg["path"]), mode="w", proc=proc,
-                span=sp.span_id,
-            )
-            done = cr_request_checkpoint(proc, fd)
-            ctx = yield done
-            yield from fd.finish()
-            yield from pipe_end.send(
-                {"t": c.CAPTURE_COMPLETE, "image_bytes": ctx.image_bytes,
-                 "op_id": op_id}
-            )
-            sp.finish(bytes=ctx.image_bytes)
+            yield from _capture_with_retry(proc, pipe_end, msg, op_id, sp)
         elif op == "resume":
             sp = sim.trace.span("agent.resume", parent=parent, proc=proc.name)
             runtime.release()
@@ -101,6 +91,61 @@ def agent_loop(proc: SimProcess, pipe_end):
             sp.finish()
         else:  # pragma: no cover - protocol error
             raise RuntimeError(f"snapify agent: unknown op {op!r}")
+
+
+def _capture_with_retry(proc: SimProcess, pipe_end, msg, op_id: int, sp):
+    """Sub-generator: run BLCR through Snapify-IO, surviving transient
+    stream faults.
+
+    A broken stream (connection reset, link flap, daemon restart) aborts
+    the current descriptor — the remote keeps its durable partial — backs
+    off per the daemon's :class:`~repro.snapify_io.resilience.RetryPolicy`,
+    then re-opens with ``resume=True`` and re-runs the checkpoint; the
+    descriptor silently skips the bytes already durable. Exhausted retries
+    report ``SNAPIFY_FAILED`` over the pipe (a clean operation failure on
+    the host) rather than killing the agent. The fault-free first attempt
+    is event-for-event identical to the pre-resilience code.
+    """
+    from ..snapify_io.daemon import SnapifyIODaemon
+    from ..snapify_io.resilience import TRANSIENT_ERRORS, RetryPolicy
+
+    sim = proc.sim
+    path = c.context_path(msg["path"])
+    policy = RetryPolicy.from_params(SnapifyIODaemon.of(proc.os).params)
+    attempts = max(1, policy.attempts)
+    last_exc = None
+    for attempt in range(1, attempts + 1):
+        fd = None
+        try:
+            fd = yield from snapifyio_open(
+                proc.os, node=0, path=path, mode="w", proc=proc,
+                span=sp.span_id, resume=attempt > 1,
+            )
+            done = cr_request_checkpoint(proc, fd)
+            ctx = yield done
+            yield from fd.finish()
+        except TRANSIENT_ERRORS as exc:
+            last_exc = exc
+            if fd is not None and not fd.closed:
+                fd.close()  # abort marker: the remote keeps its partial
+            if attempt == attempts:
+                break
+            MetricsRegistry.of(sim).counter("snapifyio.retries").inc()
+            sim.trace.emit("io.retry", path=path, channel="snapifyio",
+                           attempt=attempt, error=str(exc))
+            yield from policy.backoff(sim, attempt)
+            continue
+        yield from pipe_end.send(
+            {"t": c.CAPTURE_COMPLETE, "image_bytes": ctx.image_bytes,
+             "op_id": op_id, "attempts": attempt, "channel": "snapifyio"}
+        )
+        sp.finish(bytes=ctx.image_bytes)
+        return
+    yield from pipe_end.send(
+        {"t": c.SNAPIFY_FAILED, "op_id": op_id,
+         "reason": f"capture stream failed after {attempts} attempts: {last_exc}"}
+    )
+    sp.finish(error=str(last_exc))
 
 
 def save_local_store(proc: SimProcess, runtime: CardRuntime, snapshot_path: str,

@@ -192,6 +192,10 @@ def snapify_capture(snap: snapify_t, terminate: bool):
             return
         snap.sizes["offload_snapshot"] = done.get("image_bytes", 0)
         snap.timings["capture"] = sim.now - t0
+        # Transfer provenance from the agent: which channel carried the
+        # snapshot and how many attempts the stream took.
+        op.channel = done.get("channel", op.channel or "snapifyio")
+        op.attempts = done.get("attempts", op.attempts)
         op.transition(TRANSFERRING, bytes=snap.sizes["offload_snapshot"])
         sp.finish(bytes=snap.sizes["offload_snapshot"])
         sim.trace.emit("snapify.capture", pid=coiproc.offload_proc.pid,

@@ -14,6 +14,7 @@ State machine (one way, monotone)::
 
     REQUESTED -> PAUSING -> DRAINED -> CAPTURING -> TRANSFERRING -> DONE
          \\           \\          \\          \\             \\       -> FAILED
+                                              RETRYING <-> TRANSFERRING
 
 * REQUESTED    — the operation exists; nothing is on the wire yet.
 * PAUSING      — pause handshake + channel drain in progress.
@@ -23,6 +24,10 @@ State machine (one way, monotone)::
 * TRANSFERRING — the snapshot data is durable (capture completion seen),
                  or — for restore-type operations — streaming back to the
                  card. The operation is finishing (resume handshake).
+* RETRYING     — a transfer attempt hit a transient fault and is backing
+                 off before re-entering TRANSFERRING (the only cycle the
+                 machine permits; see ``docs/architecture.md``, "Transfer
+                 resilience").
 * DONE/FAILED  — terminal; :class:`OperationResult` is frozen.
 
 Restore-type operations take the short path REQUESTED -> TRANSFERRING ->
@@ -56,20 +61,27 @@ PAUSING = "PAUSING"
 DRAINED = "DRAINED"
 CAPTURING = "CAPTURING"
 TRANSFERRING = "TRANSFERRING"
+RETRYING = "RETRYING"
 DONE = "DONE"
 FAILED = "FAILED"
 
-STATES = (REQUESTED, PAUSING, DRAINED, CAPTURING, TRANSFERRING, DONE, FAILED)
+STATES = (REQUESTED, PAUSING, DRAINED, CAPTURING, TRANSFERRING, RETRYING,
+          DONE, FAILED)
 TERMINAL = (DONE, FAILED)
 
 #: Legal *working* transitions; DONE and FAILED are reachable from any
-#: non-terminal state (via complete()/fail()), never left.
+#: non-terminal state (via complete()/fail()), never left. TRANSFERRING and
+#: RETRYING form the one permitted cycle: a transfer attempt that hits a
+#: transient fault backs off in RETRYING, then re-enters TRANSFERRING for
+#: the next attempt (possibly on a degraded channel — see
+#: :class:`repro.snapify_io.resilience.TransferManager`).
 _NEXT = {
     REQUESTED: (PAUSING, TRANSFERRING),
     PAUSING: (DRAINED,),
     DRAINED: (CAPTURING,),
     CAPTURING: (TRANSFERRING,),
-    TRANSFERRING: (),
+    TRANSFERRING: (RETRYING,),
+    RETRYING: (TRANSFERRING,),
     DONE: (),
     FAILED: (),
 }
@@ -94,6 +106,11 @@ class OperationResult:
     #: Legacy instrumentation dicts, snapshotted from the handle at the end.
     timings: Dict[str, float]
     sizes: Dict[str, int]
+    #: Which transfer channel carried the snapshot ("snapifyio" | "nfs" |
+    #: "scp"), when known — None for operations that moved no snapshot.
+    channel: Optional[str] = None
+    #: Transfer attempts across all channels (1 = clean first try).
+    attempts: int = 1
 
     @property
     def elapsed(self) -> float:
@@ -105,7 +122,7 @@ class SnapifyOperation:
 
     __slots__ = ("op_id", "kind", "manager", "snap", "pid", "span_id",
                  "state", "error", "failed_phase", "terminate", "history",
-                 "done", "result")
+                 "done", "result", "channel", "attempts")
 
     def __init__(self, manager: "OperationManager", op_id: int, kind: str,
                  snap: Any = None, span_id: int = 0):
@@ -124,6 +141,9 @@ class SnapifyOperation:
         self.history: List[Tuple[str, float]] = [(REQUESTED, manager.sim.now)]
         self.done = Event(manager.sim, name=f"op{op_id}:{kind}.done")
         self.result: Optional[OperationResult] = None
+        #: Transfer provenance, set by the agent/TransferManager.
+        self.channel: Optional[str] = None
+        self.attempts: int = 1
 
     @staticmethod
     def _pid_of(snap: Any) -> int:
@@ -219,6 +239,8 @@ class SnapifyOperation:
             phases=phases,
             timings=dict(getattr(self.snap, "timings", None) or {}),
             sizes=dict(getattr(self.snap, "sizes", None) or {}),
+            channel=self.channel,
+            attempts=self.attempts,
         )
         sim.trace.emit("op.end", op=self.op_id, kind=self.kind, state=state,
                        pid=self.pid, error=self.error)

@@ -19,7 +19,8 @@ from .api import (
     snapify_resume,
     snapify_t,
 )
-from .ops import OperationManager, capture_sequence
+from ..snapify_io.resilience import TransferManager
+from .ops import TRANSFERRING, OperationManager, capture_sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -206,3 +207,49 @@ def snapify_migration(coiproc: COIProcess, engine_to: COIEngine,
     snap.timings["migration_total"] = sim.now - t0
     root.finish(elapsed=snap.timings["migration_total"])
     return new, snap
+
+
+# ---------------------------------------------------------------------------
+# Resilient snapshot transfer (docs/architecture.md, "Transfer resilience")
+# ---------------------------------------------------------------------------
+
+
+def transfer_snapshot(
+    src_os: OSInstance,
+    dst_node: int,
+    src_path: str,
+    dst_path: str,
+    *,
+    kind: str = "transfer",
+    manager: Optional[TransferManager] = None,
+    policy=None,
+    proc: Optional[SimProcess] = None,
+    span=None,
+):
+    """Sub-generator: move one snapshot file to SCIF node ``dst_node``
+    through the degradation chain (Snapify-IO, then NFS, then scp), as a
+    first-class operation.
+
+    The operation enters ``TRANSFERRING`` immediately and bounces through
+    ``RETRYING`` for every failed attempt; the frozen
+    :class:`~repro.snapify.ops.OperationResult` records which channel
+    finally carried the snapshot and how many attempts it took. A transfer
+    the whole chain cannot complete fails the operation with the aggregated
+    cause chain and re-raises
+    :class:`~repro.snapify_io.resilience.TransferFailed`.
+    """
+    sim = src_os.sim
+    mgr = OperationManager.of(sim)
+    op = mgr.begin(kind, span=span)
+    op.transition(TRANSFERRING, path=dst_path, node=dst_node)
+    tm = manager if manager is not None else TransferManager(policy=policy)
+    try:
+        yield from tm.send_file(
+            src_os, dst_node, src_path, dst_path, proc=proc, op=op,
+            span=int(getattr(span, "span_id", span) or 0),
+        )
+    except Exception as exc:
+        op.fail(f"{type(exc).__name__}: {exc}")
+        raise
+    op.complete()
+    return op.result

@@ -1,20 +1,44 @@
 """Snapify-IO: RDMA-based remote file access, plus the NFS/scp baselines."""
 
-from .daemon import COMMITTED, EOF_MARKER, SOCKET_ADDR, SnapifyIODaemon, SnapifyIOError
+from .daemon import (
+    ABORT_MARKER,
+    COMMITTED,
+    EOF_MARKER,
+    SOCKET_ADDR,
+    SnapifyIODaemon,
+    SnapifyIOError,
+    TransferTimeout,
+    resume_digest,
+)
 from .library import SnapifyIOFile, snapifyio_open
 from .nfs import NFSKernelBufferedFD, NFSMount, NFSUserBufferedFD
+from .resilience import (
+    ChannelUnavailable,
+    RetryPolicy,
+    TransferFailed,
+    TransferManager,
+    TransferOutcome,
+)
 from .scp import scp_copy
 
 __all__ = [
+    "ABORT_MARKER",
     "COMMITTED",
+    "ChannelUnavailable",
     "EOF_MARKER",
     "NFSKernelBufferedFD",
     "NFSMount",
     "NFSUserBufferedFD",
+    "RetryPolicy",
     "SOCKET_ADDR",
     "SnapifyIODaemon",
     "SnapifyIOError",
     "SnapifyIOFile",
+    "TransferFailed",
+    "TransferManager",
+    "TransferOutcome",
+    "TransferTimeout",
+    "resume_digest",
     "scp_copy",
     "snapifyio_open",
 ]

@@ -19,22 +19,39 @@ read mode the flow reverses.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+import zlib
+from typing import Any, Dict, List, Optional
 
 from ..hw.node import ServerNode
 from ..hw.params import SnapifyIOParams
 from ..obs.registry import MetricsRegistry
 from ..osim.process import OSInstance, SimProcess
-from ..osim.sockets import UnixSocket
-from ..scif.endpoint import ConnectionReset, ScifEndpoint, ScifNetwork
+from ..osim.sockets import SocketError, UnixSocket
+from ..scif.endpoint import ConnectionReset, ScifEndpoint, ScifError, ScifNetwork
 from ..scif.ports import SNAPIFY_IO_PORT
 from ..scif.registry import scif_register
 from ..scif.rdma import scif_vreadfrom, scif_vwriteto
+from ..sim.channel import ChannelClosed
 from ..sim.errors import Interrupted, SimError
 
 
 class SnapifyIOError(SimError):
     """Snapify-IO protocol failure."""
+
+
+class TransferTimeout(SnapifyIOError):
+    """A peer reply did not arrive within ``SnapifyIOParams.reply_timeout``."""
+
+
+def resume_digest(path: str, offset: int) -> int:
+    """Checksum token of a durable file prefix, for the resume handshake.
+
+    Stands in for a content checksum: both daemons derive it from what they
+    believe the durable prefix is; a mismatch means the writer and the
+    remote ledger disagree and the transfer must abort loudly rather than
+    resume onto a corrupt base.
+    """
+    return zlib.crc32(f"{path}:{offset}".encode())
 
 
 #: UNIX socket address the library connects to on every node.
@@ -51,6 +68,8 @@ class _Sentinel:
 
 #: Client -> daemon: orderly end-of-stream (written by ``finish()``).
 EOF_MARKER = _Sentinel("snapify-io-eof")
+#: Client -> daemon: the stream is abandoned — never commit it.
+ABORT_MARKER = _Sentinel("snapify-io-abort")
 #: Daemon -> client: the remote file is fully committed.
 COMMITTED = _Sentinel("snapify-io-committed")
 
@@ -67,6 +86,13 @@ class SnapifyIODaemon:
         self.node: ServerNode = node
         self.net = ScifNetwork.of(node)
         self.connections_served = 0
+        #: path -> bytes durably applied of the stream in flight (or left
+        #: behind by an interrupted one); the base a resume starts from.
+        self._partials: Dict[str, int] = {}
+        #: path -> total bytes at commit time. A path appears here only
+        #: after an orderly EOF whose byte count matched the writer's
+        #: declaration — the `no_truncated_commits` oracle audits it.
+        self.commits: Dict[str, int] = {}
         reg = MetricsRegistry.of(self.sim)
         self.m_conns = reg.counter(f"snapifyio.{os.name}.connections")
         self.m_bytes = reg.counter(f"snapifyio.{os.name}.bytes_staged")
@@ -139,29 +165,72 @@ class SnapifyIODaemon:
         if not isinstance(header, dict) or "path" not in header:
             raise SnapifyIOError(f"bad open header: {header!r}")
         node_id, path, mode = header["node"], header["path"], header["mode"]
+        resume = bool(header.get("resume"))
         sp = self.sim.trace.span("snapifyio.local", parent=header.get("span", 0),
                                  node=node_id, path=path, mode=mode,
                                  proc=self.proc.name)
-        ep = yield from self.net.connect(self.os, node_id, SNAPIFY_IO_PORT,
-                                         proc=self.proc)
+        try:
+            ep = yield from self.net.connect(self.os, node_id, SNAPIFY_IO_PORT,
+                                             proc=self.proc)
+        except (ScifError, ChannelClosed) as exc:
+            # Peer daemon gone or link down between the client's fail-fast
+            # probe and our connect (a torn-down listener surfaces as
+            # ChannelClosed, not ScifError): close the socket so the client
+            # sees the failure instead of hanging on the handshake.
+            self.sim.trace.emit("io.connect_failed", node=node_id, path=path,
+                                error=str(exc))
+            sock.close()
+            sp.finish()
+            return
         try:
             yield from ep.send({"path": path, "mode": mode,
-                                "span": header.get("span", 0)})
+                                "span": header.get("span", 0),
+                                "resume": resume})
             # Register the staging buffer for RDMA and tell the peer.
             offset = yield from scif_register(ep, self.params.buffer_size)
             yield from ep.send({"offset": offset})
+            base = 0
+            if mode == "w" and resume:
+                # Relay the remote's resume handshake to the client, which
+                # verifies the digest and skips the durable prefix.
+                info = yield from self._recv_reply(ep)
+                base = info.get("offset", 0)
+                yield from sock.write(1, record=info)
             if mode == "w":
-                yield from self._local_write_loop(sock, ep)
+                yield from self._local_write_loop(sock, ep, base=base)
             else:
                 yield from self._local_read_loop(sock, ep)
+        except (ConnectionReset, SocketError, TransferTimeout, ChannelClosed):
+            # Peer daemon or client vanished (or timed out) mid-stream; the
+            # teardown below resets the connection and frees the staging
+            # buffer — the client or TransferManager decides what's next.
+            pass
         finally:
             ep.close()
             sock.close()
             sp.finish()
 
-    def _local_write_loop(self, sock: UnixSocket, ep: ScifEndpoint):
+    def _recv_reply(self, ep: ScifEndpoint):
+        """Sub-generator: one peer reply, bounded by ``reply_timeout``.
+
+        With the default ``reply_timeout=None`` this is exactly one bare
+        ``ep.recv()`` — no extra events, preserving the golden trace.
+        """
+        ev = ep.recv()
+        t = self.params.reply_timeout
+        if t is None:
+            return (yield ev)
+        idx, first = yield self.sim.any_of([ev, self.sim.timeout(t)])
+        if idx == 0:
+            return first._value
+        raise TransferTimeout(
+            f"{self.os.name}: no peer reply within {t}s (hung transfer)"
+        )
+
+    def _local_write_loop(self, sock: UnixSocket, ep: ScifEndpoint, base: int = 0):
         """Socket -> staging buffer -> (remote pulls via RDMA) -> remote file."""
         filled = 0
+        total = base
         records: List[Any] = []
 
         def flush():
@@ -169,32 +238,48 @@ class SnapifyIODaemon:
             if filled == 0:
                 return
             yield from ep.send({"type": "chunk", "n": filled, "records": records})
-            ack = yield ep.recv()  # remote finished the RDMA pull
+            ack = yield from self._recv_reply(ep)  # remote finished the RDMA pull
             if not (isinstance(ack, dict) and ack.get("type") == "ack"):
                 raise SnapifyIOError(f"bad chunk ack: {ack!r}")
             filled, records = 0, []
 
         while True:
             nbytes, record = yield from sock.read_datagram()
-            eof = (nbytes == 0 and record is None) or record is EOF_MARKER
-            if not eof:
+            if record is ABORT_MARKER or (nbytes == 0 and record is None):
+                # Abandoned stream: the client aborted explicitly, or died
+                # holding the descriptor (raw socket EOF). Flush what was
+                # staged — the partial stays resumable — but tell the remote
+                # to *never* commit it. The old code treated raw EOF as an
+                # orderly end-of-stream and committed truncated files.
+                yield from flush()
+                yield from ep.send({"type": "abort"})
+                return
+            if record is not EOF_MARKER:
                 if filled + nbytes > self.params.buffer_size:
                     yield from flush()
                 # Copy from the socket into the staging buffer.
                 yield self.sim.timeout(nbytes / self.os.sockets.default_bandwidth)
                 self.m_bytes.inc(nbytes)
                 filled += nbytes
+                total += nbytes
                 if record is not None:
                     records.append(record)
                 if filled >= self.params.buffer_size:
                     yield from flush()
                 continue
             yield from flush()
-            yield from ep.send({"type": "eof"})
-            yield ep.recv()  # remote committed the file
-            if record is EOF_MARKER and not sock.closed:
-                # Orderly finish(): confirm durability to the user.
-                yield from sock.write(1, record=COMMITTED)
+            # Declare the byte total so the remote can refuse a short stream.
+            yield from ep.send({"type": "eof", "total": total})
+            done = yield from self._recv_reply(ep)  # remote committed the file
+            ok = not isinstance(done, dict) or done.get("ok", True)
+            if not sock.closed:
+                if ok:
+                    # Orderly finish(): confirm durability to the user.
+                    yield from sock.write(1, record=COMMITTED)
+                else:
+                    yield from sock.write(
+                        1, record={"error": done.get("reason", "commit refused")}
+                    )
             return
 
     def _local_read_loop(self, sock: UnixSocket, ep: ScifEndpoint):
@@ -225,6 +310,7 @@ class SnapifyIODaemon:
             header = yield ep.recv()
             offset_msg = yield ep.recv()
         except (ConnectionReset, Interrupted):
+            ep.close()  # half-open connection: don't leak the endpoint
             return
         path, mode = header["path"], header["mode"]
         peer_offset = offset_msg["offset"]
@@ -232,27 +318,61 @@ class SnapifyIODaemon:
                                  path=path, mode=mode, proc=self.proc.name)
         try:
             if mode == "w":
-                yield from self._remote_write(ep, path, peer_offset)
+                yield from self._remote_write(ep, path, peer_offset,
+                                              resume=bool(header.get("resume")))
             else:
                 yield from self._remote_read(ep, path, peer_offset)
         finally:
+            # The remote end always tears its endpoint down; before this,
+            # a reset connection leaked the endpoint (and any windows).
+            ep.close()
             sp.finish()
 
-    def _remote_write(self, ep: ScifEndpoint, path: str, peer_offset: int):
-        self.os.fs.create(path)
+    def _remote_write(self, ep: ScifEndpoint, path: str, peer_offset: int,
+                      resume: bool = False):
+        if resume:
+            base = 0
+            if self.os.fs.exists(path):
+                # Resume from the last durably-applied boundary. The ledger
+                # survives handler death; if the daemon itself was restarted
+                # the file size is the durable truth.
+                base = self._partials.get(path, self.os.fs.stat(path).size)
+            self.commits.pop(path, None)
+            self._partials[path] = base
+            yield from ep.send({"type": "resume", "offset": base,
+                                "digest": resume_digest(path, base)})
+        else:
+            self.os.fs.create(path)  # O_TRUNC: a fresh stream voids any commit
+            self.commits.pop(path, None)
+            self._partials[path] = 0
         records: List[Any] = []
         while True:
             try:
-                msg = yield ep.recv()
-            except (ConnectionReset, Interrupted):
-                return  # writer vanished; leave partial file
+                msg = yield from self._recv_reply(ep)
+            except (ConnectionReset, Interrupted, TransferTimeout):
+                return  # writer vanished/hung; keep the partial for a future resume
+            if msg["type"] == "abort":
+                return  # stream abandoned: keep the partial, never commit
             if msg["type"] == "eof":
+                applied = self._partials.get(path, 0)
+                total = msg.get("total", applied)
+                if applied != total:
+                    # Never commit a truncated (or overlong) stream.
+                    yield from ep.send({
+                        "type": "done", "ok": False,
+                        "reason": f"short stream: applied {applied} of {total} bytes",
+                    })
+                    return
                 if records:
                     self.os.fs.stat(path).payload = list(records)
-                yield from ep.send({"type": "done"})
+                self.commits[path] = applied
+                yield from ep.send({"type": "done", "ok": True})
                 return
             # Pull the staged chunk out of the peer's registered buffer.
-            yield from scif_vreadfrom(ep, peer_offset, msg["n"])
+            try:
+                yield from scif_vreadfrom(ep, peer_offset, msg["n"])
+            except ScifError:
+                return  # peer reset mid-pull; partial stays resumable
             records.extend(msg["records"])
             if self.params.async_flush:
                 # Ack as soon as the staging buffer is free: the file write
@@ -264,6 +384,7 @@ class SnapifyIODaemon:
                 # Ablation: write before releasing the buffer.
                 yield from self.os.fs.write(path, msg["n"])
                 yield from ep.send({"type": "ack"})
+            self._partials[path] = self._partials.get(path, 0) + msg["n"]
 
     def _remote_read(self, ep: ScifEndpoint, path: str, peer_offset: int):
         if not self.os.fs.exists(path):

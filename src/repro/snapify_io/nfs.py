@@ -72,7 +72,18 @@ class NFSMount(FileSystem):
         self.rpc_count += n_rpcs
         return n_rpcs * self.params.op_latency + nbytes / bw
 
+    def _check_available(self) -> None:
+        """NFS rides the PCIe virtual ethernet and a host-side export: a
+        downed link or a stopped export makes every RPC time out (modeled as
+        an immediate error — the client would see ``server not responding``).
+        """
+        if getattr(getattr(self.phi_os, "hw", None), "link_down", False):
+            raise FDError(f"{self.name}: PCIe link down — server not responding")
+        if not getattr(self.host_fs, "exported", True):
+            raise FDError(f"{self.name}: export stopped — server not responding")
+
     def write(self, path: str, nbytes: int, payload: Any = None, sync: bool = False):
+        self._check_available()
         sync = sync or self.sync_writes
         if sync:
             yield self.sim.timeout(self._rpc_time(nbytes, self.params.write_bw))
@@ -100,6 +111,7 @@ class NFSMount(FileSystem):
         BLCR's metadata-record reads therefore cost far less than one RPC
         each — but far more than the zero Snapify-IO pays (its daemon pushes
         the whole stream proactively)."""
+        self._check_available()
         f = self.host_fs.stat(path)
         n = f.size if nbytes is None else min(nbytes, f.size)
         pos = self._readahead.get(path, 0)
