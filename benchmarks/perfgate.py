@@ -196,6 +196,35 @@ def wl_remote_checkpoint(n_files=6):
     return next(sim._seq)  # total kernel events scheduled
 
 
+def wl_fleet_sweep(topology="rack32", ops_per_card=4):
+    """The fleet control plane at scale: a rack of cards driven through one
+    admission-controlled FleetManager (mixed checkpoint/swap/migrate load,
+    cards * ops_per_card keyed operations). ops = kernel events, like
+    wl_snapshot_cycle; the p99 queue wait (simulated seconds a ticket sat
+    in the priority queues) rides along in ``extras`` for the CI summary.
+    """
+    from repro.snapify.fleet import FleetManager, fleet_sweep
+    from repro.testbed import XeonPhiFleet
+
+    fleet = XeonPhiFleet(topology)
+    manager = FleetManager(fleet, max_in_flight=16, per_card_limit=2)
+
+    def driver():
+        return (yield from fleet_sweep(fleet, manager, ops_per_card=ops_per_card))
+
+    result = fleet.run(driver())
+    assert result.ok, f"fleet sweep failed: {result.summary()}"
+    assert manager.hwm_in_flight <= manager.max_in_flight, "admission cap breached"
+    waits = sorted(t.queue_wait for t in result.tickets.values()
+                   if t.queue_wait is not None)
+    p99 = waits[min(len(waits) - 1, int(len(waits) * 0.99))] if waits else 0.0
+    wl_fleet_sweep.extras = {
+        "fleet_ops": len(result),
+        "p99_queue_wait_sim_s": round(p99, 6),
+    }
+    return next(fleet.sim._seq)  # total kernel events scheduled
+
+
 WORKLOADS = {
     "event_dispatch": wl_event_dispatch,
     "ping_pong": wl_ping_pong,
@@ -204,6 +233,7 @@ WORKLOADS = {
     "snapshot_cycle": wl_snapshot_cycle,
     "concurrent_checkpoints": wl_concurrent_checkpoints,
     "remote_checkpoint": wl_remote_checkpoint,
+    "fleet_sweep": wl_fleet_sweep,
 }
 
 
@@ -249,6 +279,9 @@ def run_benchmarks(repeat=3):
             "ops_per_sec": round(best_ops_per_sec, 1),
             "normalized": round(best_ops_per_sec / cal, 6),
         }
+        extras = getattr(fn, "extras", None)
+        if extras:
+            results[name].update(extras)
     return {
         "schema": SCHEMA,
         "python": platform.python_version(),
@@ -273,6 +306,49 @@ def check_against_baseline(report, baseline, threshold):
                 f"{floor:.4f} ({threshold:.2f}x of baseline {base['normalized']:.4f})"
             )
     return failures
+
+
+def markdown_summary(report, failures=None, threshold=None):
+    """The report as a GitHub-flavored markdown score table."""
+    lines = [
+        "### Kernel performance gate",
+        "",
+        "| workload | ops/s | normalized | notes |",
+        "| --- | ---: | ---: | --- |",
+    ]
+    for name, res in report["results"].items():
+        notes = ", ".join(
+            f"{k}={v}" for k, v in res.items()
+            if k not in ("ops", "ops_per_sec", "normalized")
+        )
+        lines.append(
+            f"| {name} | {res['ops_per_sec']:,.0f} | "
+            f"{res['normalized']:.4f} | {notes} |"
+        )
+    lines.append(
+        f"| _calibration_ | {report['calibration_ops_per_sec']:,.0f} | 1.0000 | |"
+    )
+    lines.append("")
+    if failures:
+        lines.append(f"**PERFGATE FAIL** (threshold {threshold:.2f}x of baseline):")
+        lines.extend(f"- {f}" for f in failures)
+    elif threshold is not None:
+        lines.append(f"PERFGATE OK (threshold {threshold:.2f}x of baseline)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def emit_summary(markdown):
+    """Append to ``$GITHUB_STEP_SUMMARY`` when set, else print to stdout."""
+    import os
+
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if path:
+        with open(path, "a") as f:
+            f.write(markdown + "\n")
+        print(f"wrote score table to step summary ({path})")
+    else:
+        print(markdown)
 
 
 def main(argv=None):
@@ -313,14 +389,19 @@ def main(argv=None):
         print(f"wrote new baseline {args.update_baseline}")
         return 0
 
+    failures = []
+    threshold = None
     if args.baseline:
+        threshold = args.threshold
         baseline = json.loads(Path(args.baseline).read_text())
         failures = check_against_baseline(report, baseline, args.threshold)
-        if failures:
-            print("PERFGATE FAIL:")
-            for f in failures:
-                print(f"  {f}")
-            return 1
+    emit_summary(markdown_summary(report, failures, threshold))
+    if failures:
+        print("PERFGATE FAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    if args.baseline:
         print(f"PERFGATE OK (threshold {args.threshold:.2f}x of baseline)")
     return 0
 

@@ -31,6 +31,14 @@ def default_faults(scenario: str, seed: int) -> List[Dict[str, Any]]:
     base, _, mode = scenario.partition(":")
     if base == "transfer_fault":
         return _transfer_faults(mode, seed)
+    if base == "fleet":
+        # Every third seed kills one fleet card mid-sweep (card choice and
+        # timing walk with the seed); the rest run clean, so the sweep
+        # covers both the all-DONE and the partial-failure surface.
+        if seed % 3 != 1:
+            return []
+        return [{"kind": "fleet_card_failure", "card": seed % 64,
+                 "at": 2.5 + 0.1 * (seed % 5)}]
     if base not in _SPARE_CARD_SCENARIOS:
         return []
     variant = seed % 3

@@ -351,6 +351,81 @@ def retry_accounting(server: "XeonPhiServer") -> List[Violation]:
     return out
 
 
+def fleet_admission_caps(server: "XeonPhiServer") -> List[Violation]:
+    """No fleet manager ever exceeded its admission caps.
+
+    The high-water marks are recorded at admission time, so they witness
+    every interleaving the run explored: a mark above the configured cap
+    means the admission controller let an operation through that it was
+    supposed to queue.
+    """
+    from ..snapify.fleet import FleetManager
+
+    out: List[Violation] = []
+    for mgr in FleetManager.all_of(server.sim):
+        if mgr.hwm_in_flight > mgr.max_in_flight:
+            out.append(Violation(
+                "fleet_admission_caps",
+                f"{mgr.name}: in-flight high-water {mgr.hwm_in_flight} "
+                f"exceeds cap {mgr.max_in_flight}",
+            ))
+        for card, hwm in sorted(mgr.hwm_per_card.items()):
+            if hwm > mgr.per_card_limit:
+                out.append(Violation(
+                    "fleet_admission_caps",
+                    f"{mgr.name}: card {card} high-water {hwm} exceeds "
+                    f"per-card limit {mgr.per_card_limit}",
+                ))
+    return out
+
+
+def fleet_no_starvation(server: "XeonPhiServer") -> List[Violation]:
+    """Every submitted fleet ticket reached a terminal state.
+
+    A ticket still QUEUED or RUNNING at quiescence was starved (the pump
+    never admitted it) or leaked (its runner died without finishing it) —
+    either way the caller's ``collect`` would have hung on it.
+    """
+    from ..snapify.fleet import TICKET_TERMINAL, FleetManager
+
+    out: List[Violation] = []
+    for mgr in FleetManager.all_of(server.sim):
+        for t in mgr.tickets:
+            if t.state not in TICKET_TERMINAL:
+                out.append(Violation(
+                    "fleet_no_starvation",
+                    f"{mgr.name}: ticket {t.key!r} ({t.kind}, {t.card.key}) "
+                    f"left {t.state}",
+                ))
+    return out
+
+
+def fleet_quiescent(server: "XeonPhiServer") -> List[Violation]:
+    """Fleet managers hold no work at quiescence.
+
+    At the end of a run every queue must be empty and the in-flight count
+    zero; a nonzero count with no runnable work is a leaked admission slot
+    (``_finish`` never ran), which would silently shrink the fleet's
+    effective concurrency.
+    """
+    from ..snapify.fleet import FleetManager
+
+    out: List[Violation] = []
+    for mgr in FleetManager.all_of(server.sim):
+        if mgr.in_flight:
+            out.append(Violation(
+                "fleet_quiescent",
+                f"{mgr.name}: {mgr.in_flight} operation(s) still in flight",
+            ))
+        depth = mgr.queue_depth()
+        if depth:
+            out.append(Violation(
+                "fleet_quiescent",
+                f"{mgr.name}: {depth} operation(s) still queued",
+            ))
+    return out
+
+
 #: All oracles, in check order. ``check_all`` runs every one of these.
 ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     memory_accounting,
@@ -364,6 +439,9 @@ ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     no_truncated_commits,
     staging_buffers_released,
     retry_accounting,
+    fleet_admission_caps,
+    fleet_no_starvation,
+    fleet_quiescent,
     no_crashed_threads,
 ]
 

@@ -338,6 +338,57 @@ def _transfer_fault(server, app, injector, phase, faults):
     return {"outcome": "completed", "violations": bad}
 
 
+def _fleet(server, app, injector, phase, faults):
+    """The fleet control plane under mixed load, optionally losing cards.
+
+    Boots a named fleet topology (``phase``, default ``rack8``) on the
+    scenario's kernel, schedules any ``fleet_card_failure`` faults against
+    its cards, then drives health sweep → :func:`~repro.snapify.fleet.
+    fleet_sweep` → health sweep through one :class:`~repro.snapify.fleet.
+    FleetManager`. On a clean run every ticket must land DONE; once the
+    injector has actually killed a card, per-ticket failures are the
+    *expected* partial-failure surface and only the invariants (admission
+    caps, no starvation, quiescence — plus every per-server oracle over the
+    whole fleet) decide the verdict.
+    """
+    from ..snapify.fleet import DONE, FleetManager, fleet_sweep
+    from ..testbed import XeonPhiFleet
+
+    sim = server.sim
+    fleet = XeonPhiFleet(phase or "rack8", sim=sim)
+    manager = FleetManager(fleet, max_in_flight=8, per_card_limit=2)
+    cards = fleet.cards()
+    for f in faults:
+        if f.get("kind") != "fleet_card_failure":
+            continue
+        card = cards[f["card"] % len(cards)]
+        injector.schedule_card_failure(fleet.phi(card), at=sim.now + f["at"])
+
+    yield from manager.health_sweep()  # baseline probe of every card
+    result = yield from fleet_sweep(fleet, manager, ops_per_card=4)
+    after = yield from manager.health_sweep()
+
+    bad: List[Violation] = []
+    if not injector.injected:
+        for key, t in result.tickets.items():
+            if t.state != DONE:
+                bad.append(Violation(
+                    "fleet_result",
+                    f"{key} failed with no injected fault: {t.error}",
+                ))
+        if after.failed:
+            bad.append(Violation(
+                "fleet_result",
+                f"health sweep reports dead cards on a clean run: "
+                f"{[h.card for h in after.failed]}",
+            ))
+    return {
+        "outcome": "completed" if result.ok else "faulted",
+        "violations": bad,
+        "servers": fleet.servers,
+    }
+
+
 SCENARIOS = {
     "checkpoint": _checkpoint,
     "restart": _restart,
@@ -346,14 +397,17 @@ SCENARIOS = {
     "concurrent_checkpoint": _concurrent_checkpoint,
     "checkpoint_fault": _checkpoint_fault,
     "transfer_fault": _transfer_fault,
+    "fleet": _fleet,
 }
 
 
 def scenario_names() -> List[str]:
     """All runnable names, with parameterized scenarios expanded."""
-    names = [n for n in SCENARIOS if n not in ("checkpoint_fault", "transfer_fault")]
+    names = [n for n in SCENARIOS
+             if n not in ("checkpoint_fault", "transfer_fault", "fleet")]
     names.extend(f"checkpoint_fault:{p}" for p in CHECKPOINT_FAULT_PHASES)
     names.extend(f"transfer_fault:{m}" for m in TRANSFER_FAULT_MODES)
+    names.append("fleet:rack8")
     return names
 
 
@@ -416,6 +470,8 @@ def run_scenario(
         # Fault times are offsets after testbed boot (boot itself consumes
         # simulated time, deterministically per seed).
         kind = f.get("kind", "card_failure")
+        if kind == "fleet_card_failure":
+            continue  # targets fleet cards; the fleet builder schedules it
         if kind == "card_failure":
             injector.schedule_card_failure(
                 server.node.phis[f["device"]],
@@ -447,12 +503,14 @@ def run_scenario(
     error = error_type = None
     waitfor: List[Dict[str, Any]] = []
     extra: List[Violation] = []
+    extra_servers: List[XeonPhiServer] = []
     try:
         result = server.run(builder(server, app, injector, phase, faults),
                             name=f"fuzz:{name}")
         outcome = result.get("outcome", "completed")
         error = result.get("error")
         extra = result.get("violations", [])
+        extra_servers = result.get("servers", [])
         sim.run(check_deadlock=True)  # settle: daemons drain, monitors exit
     except DeadlockError as exc:
         outcome, error, error_type = "deadlock", str(exc), "DeadlockError"
@@ -463,6 +521,11 @@ def run_scenario(
         outcome, error, error_type = "crash", repr(exc), type(exc).__name__
 
     violations = extra + check_all(server)
+    for extra_server in extra_servers:
+        violations.extend(check_all(extra_server))
+    # Fleet scenarios check many servers on one kernel; sim-wide oracles
+    # (fleet caps, crashed threads) repeat verbatim per server — keep one.
+    violations = list(dict.fromkeys(violations))
     ok = not violations and outcome in ("completed", "faulted", "clean_error")
     mgr = OperationManager.peek(sim)
     operations = [op.describe() for op in mgr.operations.values()] if mgr else []

@@ -19,6 +19,15 @@ and replays failure artifacts:
     snapify fuzz --seeds 200 --artifact-dir fuzz_artifacts
     snapify fuzz --replay fuzz_artifacts/repro_migrate_seed7.json
 
+``snapify fleet`` boots a named fleet topology, drives a mixed
+checkpoint/swap/migrate sweep through the admission-controlled
+:class:`~repro.snapify.fleet.FleetManager`, and prints the per-card
+outcome table plus the closing health sweep:
+
+    snapify fleet                              # rack8, 4 ops per card
+    snapify fleet --topology rack32 --ops-per-card 2
+    snapify fleet --max-in-flight 16 --per-card 2 --metrics
+
 Also reachable without installation as ``python -m repro.snapify trace``.
 """
 
@@ -143,6 +152,81 @@ def trace_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_fleet_sweep(topology: str = "rack8", ops_per_card: int = 4,
+                    max_in_flight: int = 8, per_card: int = 2):
+    """Boot ``topology`` and drive a mixed sweep through one manager.
+
+    Returns ``(manager, result, health)`` — the manager (for metrics and
+    high-water marks), the collected :class:`~repro.snapify.fleet.
+    FleetResult`, and the closing :class:`~repro.snapify.fleet.HealthReport`.
+    """
+    from ..snapify.fleet import FleetManager, fleet_sweep
+    from ..testbed import XeonPhiFleet
+
+    fleet = XeonPhiFleet(topology)
+    manager = FleetManager(fleet, max_in_flight=max_in_flight,
+                           per_card_limit=per_card)
+
+    def driver():
+        result = yield from fleet_sweep(fleet, manager,
+                                        ops_per_card=ops_per_card)
+        health = yield from manager.health_sweep()
+        return result, health
+
+    result, health = fleet.run(driver())
+    return manager, result, health
+
+
+def fleet_command(args: argparse.Namespace) -> int:
+    from ..metrics import ResultTable, fmt_time
+    from ..snapify.fleet import DONE
+
+    manager, result, health = run_fleet_sweep(
+        args.topology, ops_per_card=args.ops_per_card,
+        max_in_flight=args.max_in_flight, per_card=args.per_card,
+    )
+    status = {h.card: h for h in health.entries}
+    stragglers = {h.card for h in health.stragglers()}
+    table = ResultTable(
+        f"Fleet sweep: {args.topology}, {len(result)} ops "
+        f"(caps: {manager.max_in_flight} in flight, "
+        f"{manager.per_card_limit}/card)",
+        ["card", "ops", "ok", "failed", "mean wait", "mean service", "health"],
+    )
+    for card, tickets in sorted(result.by_card().items()):
+        done = [t for t in tickets if t.state == DONE]
+        waits = [t.queue_wait for t in tickets if t.queue_wait is not None]
+        services = [t.service_time for t in done if t.service_time is not None]
+        h = status.get(card)
+        verdict = ("-" if h is None else
+                   f"FAILED: {h.error}" if not h.ok else
+                   "straggler" if card in stragglers else "ok")
+        table.add_row(
+            card, len(tickets), len(done), len(tickets) - len(done),
+            fmt_time(sum(waits) / len(waits)) if waits else "-",
+            fmt_time(sum(services) / len(services)) if services else "-",
+            verdict,
+        )
+    table.add_note(f"in-flight high-water {manager.hwm_in_flight}, "
+                   f"busiest card {max(manager.hwm_per_card.values(), default=0)}")
+    print()
+    print(table.render())
+    print()
+    print(result.summary())
+    print(health.summary())
+
+    if args.metrics:
+        snap = MetricsRegistry.of(manager.sim).snapshot()
+        print(f"\n== Metrics at t={snap['time']:.6f}s ==")
+        for name, value in sorted(snap["counters"].items()):
+            if name.startswith(manager.name):
+                print(f"  counter    {name:40s} {value}")
+        for name, summary in sorted(snap["histograms"].items()):
+            if name.startswith(manager.name):
+                print(f"  histogram  {name:40s} {summary}")
+    return 0 if result.ok and not health.failed else 1
+
+
 def fuzz_command(args: argparse.Namespace) -> int:
     from ..check import fuzz, replay_artifact
     from ..check.scenarios import scenario_names
@@ -239,6 +323,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     fz.add_argument("--verbose", action="store_true",
                     help="print every run, not just failures")
     fz.set_defaults(fn=fuzz_command)
+    fl = sub.add_parser(
+        "fleet",
+        help="drive a mixed checkpoint/swap/migrate sweep across a fleet "
+             "topology and print the per-card outcome table",
+    )
+    fl.add_argument("--topology", default="rack8",
+                    help="fleet topology name (default rack8; see "
+                         "repro.testbed.FLEET_TOPOLOGIES)")
+    fl.add_argument("--ops-per-card", type=int, default=4,
+                    help="operations submitted per card (default 4)")
+    fl.add_argument("--max-in-flight", type=int, default=8,
+                    help="global admission cap (default 8)")
+    fl.add_argument("--per-card", type=int, default=2,
+                    help="per-card admission cap (default 2)")
+    fl.add_argument("--metrics", action="store_true",
+                    help="print the fleet's metrics instruments")
+    fl.set_defaults(fn=fleet_command)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -92,6 +92,21 @@ class FileSystem:
             raise FSError(f"{self.name}: unlink of missing file {path!r}")
         self._discard(f)
 
+    def rename(self, old: str, new: str) -> None:
+        """Metadata-only move: the backing bytes stay where they are (same
+        file system), so no I/O time is charged and no memory accounting
+        changes. An existing target is replaced, per POSIX rename."""
+        old = self._norm(old)
+        new = self._norm(new)
+        f = self._files.pop(old, None)
+        if f is None:
+            raise FSError(f"{self.name}: rename of missing file {old!r}")
+        existing = self._files.get(new)
+        if existing is not None:
+            self._discard(existing)
+        f.path = new
+        self._files[new] = f
+
     def total_bytes(self) -> int:
         return sum(f.size for f in self._files.values())
 

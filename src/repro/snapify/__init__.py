@@ -16,6 +16,19 @@ from .api import (
     snapify_wait,
 )
 from .cli import MIGRATE, SWAP_IN, SWAP_OUT, install_cli_handler, snapify_command
+from .fleet import (
+    BACKGROUND,
+    MAINTENANCE,
+    SWAP,
+    CardHealth,
+    CardRef,
+    FleetManager,
+    FleetRequest,
+    FleetResult,
+    FleetTicket,
+    HealthReport,
+    fleet_sweep,
+)
 from .monitor import SnapifyError, SnapifyService, handle_service
 from .ops import (
     OperationManager,
@@ -36,12 +49,23 @@ from .usecases import (
 )
 
 __all__ = [
+    "BACKGROUND",
+    "CardHealth",
+    "CardRef",
+    "FleetManager",
+    "FleetRequest",
+    "FleetResult",
+    "FleetTicket",
+    "HealthReport",
+    "MAINTENANCE",
     "MIGRATE",
     "OperationManager",
     "OperationResult",
     "RestartResult",
+    "SWAP",
     "SWAP_IN",
     "SWAP_OUT",
+    "fleet_sweep",
     "SnapifyError",
     "SnapifyOperation",
     "SnapifyService",

@@ -72,10 +72,24 @@ def agent_loop(proc: SimProcess, pipe_end):
             sub.finish()
             sub = sim.trace.span("agent.localstore_save", parent=sp,
                                  node=msg.get("localstore_node", 0))
-            ls_bytes = yield from save_local_store(
-                proc, runtime, msg["path"], node=msg.get("localstore_node", 0),
-                span=sub.span_id,
-            )
+            try:
+                ls_bytes = yield from save_local_store(
+                    proc, runtime, msg["path"],
+                    node=msg.get("localstore_node", 0), span=sub.span_id,
+                )
+            except Exception as exc:
+                # The save target is gone (dead card, downed link, crashed
+                # IO daemon). Un-pause and report a clean operation failure
+                # instead of dying with the locks held — a silent agent
+                # death leaves the host waiting on the pipe forever.
+                runtime.release()
+                sub.finish(error=str(exc))
+                yield from pipe_end.send(
+                    {"t": c.SNAPIFY_FAILED, "op_id": op_id,
+                     "reason": f"local store save failed: {exc}"}
+                )
+                sp.finish(error=str(exc))
+                continue
             sub.finish(bytes=ls_bytes)
             yield from pipe_end.send({"t": c.PAUSE_COMPLETE,
                                       "localstore_bytes": ls_bytes,

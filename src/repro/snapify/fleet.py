@@ -1,0 +1,714 @@
+"""Fleet control plane: drive Snapify operations across hundreds of cards.
+
+The single-operation layers below this one (:mod:`repro.snapify.ops`,
+the §5 use cases) answer "how does *one* checkpoint/swap/migrate run to
+completion"; this module answers "how do *hundreds* of them run at once
+without trampling each other".  The idiom is the one the ADC16 fleet
+controller uses (``snap_manager.py``: one manager object fanning keyed
+commands out to a board fleet through a work queue and collecting keyed
+results), adapted to the simulated control plane:
+
+* **Admission control** — a global in-flight cap plus a per-card cap.  A
+  card's COI daemon serializes captures on its memory bandwidth anyway, so
+  letting 50 checkpoints pile onto one card only grows pause time; the
+  per-card cap keeps each card at its concurrency sweet spot while the
+  global cap bounds host-side memory and fabric pressure.
+* **Priority queues** — maintenance (evacuating a failing card) beats
+  scheduler swap traffic, which beats background checkpoints.  Within a
+  priority, admission is FIFO, except that a request whose card is at its
+  per-card cap never blocks a request for an idle card behind it.
+* **Batched submission, keyed results** — ``submit_batch`` takes keyed
+  requests and ``collect`` returns a :class:`FleetResult` mapping every
+  key to its outcome, aggregating partial failures instead of dying on the
+  first one (a fleet where 3 of 300 cards are sick is the *normal* case).
+* **Health sweeps** — calibration-style: probe every card with a small
+  timed RAM-FS write, and surface dead cards and stragglers (probe latency
+  far above the fleet median) to the swap scheduler, which stops placing
+  work on them (:meth:`repro.sched.scheduler.SwapScheduler.note_health`).
+
+Everything here is layered *on top of* :class:`~repro.snapify.ops.
+OperationManager`: each admitted request ultimately runs an ordinary
+correlated operation, and the finished operation is tagged with the fleet
+key that asked for it (``op.fleet_key``) so fuzz triage and the trace CLI
+can attribute control-plane traffic.  The single-operation path does not
+go through this module at all — a run that never builds a
+:class:`FleetManager` schedules exactly the same events as before (the
+golden trace proves it).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple,
+)
+
+from ..obs.registry import MetricsRegistry
+from ..sim.events import Event
+from .monitor import SnapifyError
+from .ops import OperationManager, OperationResult
+
+# -- priorities -------------------------------------------------------------
+
+#: Evacuations and health probes: the fleet must react to failing hardware
+#: before it serves anything else.
+MAINTENANCE = 0
+#: Scheduler-driven swap traffic: a queued tenant is waiting on it.
+SWAP = 1
+#: Periodic checkpoints: pure insurance, always preemptible by the above.
+BACKGROUND = 2
+
+PRIORITIES = (MAINTENANCE, SWAP, BACKGROUND)
+PRIORITY_NAMES = {MAINTENANCE: "maintenance", SWAP: "swap", BACKGROUND: "background"}
+
+# -- ticket states ----------------------------------------------------------
+
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+TICKET_TERMINAL = (DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class CardRef:
+    """One coprocessor in a fleet, addressed as (node index, device index)."""
+
+    node: int
+    device: int
+
+    @property
+    def key(self) -> str:
+        return f"n{self.node}.mic{self.device}"
+
+    def __str__(self) -> str:
+        return self.key
+
+
+@dataclass
+class FleetRequest:
+    """One keyed unit of fleet work, before admission.
+
+    ``work`` is a zero-argument callable returning the sub-generator that
+    performs the operation (a factory, so the generator is created only
+    when the request is admitted); ``proc`` optionally names the host
+    process whose context the work runs in (operations on a ``snapify_t``
+    want their own host process, probes are fine on a bare kernel thread).
+    """
+
+    key: str
+    kind: str
+    work: Callable[[], Generator]
+    card: Optional[CardRef] = None
+    priority: int = BACKGROUND
+    proc: Optional[Any] = None
+
+
+class FleetTicket:
+    """One submitted request: its queue position, progress, and outcome."""
+
+    __slots__ = ("key", "kind", "card", "priority", "state", "submitted",
+                 "admitted", "finished", "result", "error", "done",
+                 "_request")
+
+    def __init__(self, request: FleetRequest, now: float, done: Event):
+        self.key = request.key
+        self.kind = request.kind
+        self.card = request.card
+        self.priority = request.priority
+        self.state = QUEUED
+        self.submitted = now
+        self.admitted: Optional[float] = None
+        self.finished: Optional[float] = None
+        #: Whatever the work returned — an OperationResult for the standard
+        #: submitters, a CardHealth for probes.
+        self.result: Any = None
+        self.error: Optional[str] = None
+        #: Succeeds with the ticket itself once terminal (never fails, so a
+        #: collect() over a partly-failed batch still completes; inspect
+        #: ``state``/``error`` for the verdict).
+        self.done = done
+        self._request = request
+
+    @property
+    def ok(self) -> bool:
+        return self.state == DONE
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.admitted is None:
+            return None
+        return self.admitted - self.submitted
+
+    @property
+    def service_time(self) -> Optional[float]:
+        if self.admitted is None or self.finished is None:
+            return None
+        return self.finished - self.admitted
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary (repro artifacts, CLI tables)."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "card": self.card.key if self.card is not None else None,
+            "priority": PRIORITY_NAMES.get(self.priority, self.priority),
+            "state": self.state,
+            "error": self.error,
+            "queue_wait": self.queue_wait,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FleetTicket {self.key} {self.kind} {self.state}>"
+
+
+class FleetResult:
+    """Keyed outcomes of one collected batch, partial failures included."""
+
+    def __init__(self, tickets: Dict[str, FleetTicket]):
+        self.tickets = tickets
+
+    @property
+    def ok(self) -> bool:
+        return all(t.state == DONE for t in self.tickets.values())
+
+    @property
+    def failures(self) -> Dict[str, FleetTicket]:
+        return {k: t for k, t in self.tickets.items() if t.state != DONE}
+
+    @property
+    def results(self) -> Dict[str, Any]:
+        """key -> work return value (None for failed tickets)."""
+        return {k: t.result for k, t in self.tickets.items()}
+
+    def operation_results(self) -> Dict[str, OperationResult]:
+        """The subset of results that are typed operation outcomes."""
+        return {k: t.result for k, t in self.tickets.items()
+                if isinstance(t.result, OperationResult)}
+
+    def by_card(self) -> Dict[str, List[FleetTicket]]:
+        out: Dict[str, List[FleetTicket]] = {}
+        for t in self.tickets.values():
+            out.setdefault(t.card.key if t.card else "-", []).append(t)
+        return out
+
+    def raise_on_error(self) -> "FleetResult":
+        """Aggregate every failed ticket into one SnapifyError (or return
+        self when the whole batch succeeded)."""
+        failed = self.failures
+        if failed:
+            detail = "; ".join(
+                f"{k} ({t.kind}) failed: {t.error}" for k, t in failed.items()
+            )
+            raise SnapifyError(
+                f"{len(failed)}/{len(self.tickets)} fleet operation(s) failed: "
+                f"{detail}"
+            )
+        return self
+
+    def summary(self) -> str:
+        n_ok = sum(1 for t in self.tickets.values() if t.state == DONE)
+        bits = [f"fleet batch: {len(self.tickets)} ops, {n_ok} ok, "
+                f"{len(self.tickets) - n_ok} failed"]
+        bits.extend(f"  FAIL {k} ({t.kind}): {t.error}"
+                    for k, t in self.failures.items())
+        return "\n".join(bits)
+
+    def __len__(self) -> int:
+        return len(self.tickets)
+
+
+# ---------------------------------------------------------------------------
+# Health sweeps
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CardHealth:
+    """One card's probe outcome."""
+
+    card: str  # CardRef.key
+    ok: bool
+    #: Probe service latency in simulated seconds (None when the probe
+    #: failed before it could time anything).
+    latency: Optional[float]
+    error: Optional[str] = None
+
+
+class HealthReport:
+    """All cards' probe outcomes from one sweep, with outlier analysis."""
+
+    def __init__(self, entries: Sequence[CardHealth], when: float):
+        self.entries = list(entries)
+        self.when = when
+
+    @property
+    def failed(self) -> List[CardHealth]:
+        return [h for h in self.entries if not h.ok]
+
+    @property
+    def healthy(self) -> List[CardHealth]:
+        return [h for h in self.entries if h.ok]
+
+    def median_latency(self) -> Optional[float]:
+        lats = sorted(h.latency for h in self.healthy if h.latency is not None)
+        if not lats:
+            return None
+        mid = len(lats) // 2
+        if len(lats) % 2:
+            return lats[mid]
+        return (lats[mid - 1] + lats[mid]) / 2.0
+
+    def stragglers(self, factor: float = 3.0) -> List[CardHealth]:
+        """Healthy cards whose probe took more than ``factor`` times the
+        fleet median — loaded, degraded, or contended cards the scheduler
+        should deprioritize before they become pause-time outliers."""
+        med = self.median_latency()
+        if not med:
+            return []
+        return [h for h in self.healthy
+                if h.latency is not None and h.latency > factor * med]
+
+    def summary(self) -> str:
+        bits = [f"health sweep @ {self.when:.3f}s: {len(self.entries)} cards, "
+                f"{len(self.failed)} failed, {len(self.stragglers())} straggling"]
+        bits.extend(f"  FAILED {h.card}: {h.error}" for h in self.failed)
+        bits.extend(f"  STRAGGLER {h.card}: {h.latency * 1e3:.2f} ms "
+                    f"(median {self.median_latency() * 1e3:.2f} ms)"
+                    for h in self.stragglers())
+        return "\n".join(bits)
+
+
+# ---------------------------------------------------------------------------
+# The manager
+# ---------------------------------------------------------------------------
+
+
+class FleetManager:
+    """Admission-controlled, priority-queued fleet operation dispatcher.
+
+    One manager drives one fleet (usually a
+    :class:`~repro.testbed.XeonPhiFleet`, but anything exposing ``sim``,
+    ``cards()`` and ``phi(card)`` works).  Submission is non-blocking:
+    ``submit``/``submit_batch`` enqueue and return tickets immediately;
+    admission happens as in-flight slots free up, strictly by priority and
+    FIFO within a priority.  ``collect`` waits for a batch and returns its
+    keyed :class:`FleetResult`.
+    """
+
+    #: Simulator attribute holding every manager built on that simulator
+    #: (the fuzz oracles audit all of them at quiescence).
+    _ATTR = "snapify_fleets"
+
+    def __init__(self, fleet: Any = None, *, sim: Any = None,
+                 max_in_flight: int = 16, per_card_limit: int = 2,
+                 name: str = "fleet"):
+        if fleet is None and sim is None:
+            raise ValueError("FleetManager needs a fleet or a simulator")
+        if max_in_flight < 1 or per_card_limit < 1:
+            raise ValueError("admission caps must be >= 1")
+        self.fleet = fleet
+        self.sim = sim if sim is not None else fleet.sim
+        self.name = name
+        self.max_in_flight = max_in_flight
+        self.per_card_limit = per_card_limit
+        #: Every ticket ever submitted, in submission order.
+        self.tickets: List[FleetTicket] = []
+        self._queues: Dict[int, List[FleetTicket]] = {p: [] for p in PRIORITIES}
+        self.in_flight = 0
+        self._per_card: Dict[str, int] = {}
+        #: High-water marks, audited by the admission-cap oracle.
+        self.hwm_in_flight = 0
+        self.hwm_per_card: Dict[str, int] = {}
+        self._probe_ids = itertools.count(1)
+        registry = MetricsRegistry.of(self.sim)
+        self.m_submitted = registry.counter(f"{name}.submitted")
+        self.m_completed = registry.counter(f"{name}.completed")
+        self.m_failed = registry.counter(f"{name}.failed")
+        registry.gauge(f"{name}.queue_depth", self.queue_depth)
+        registry.gauge(f"{name}.in_flight", lambda: self.in_flight)
+        self._wait_hist = {
+            p: registry.histogram(f"{name}.wait.{PRIORITY_NAMES[p]}")
+            for p in PRIORITIES
+        }
+        self._service_hist = registry.histogram(f"{name}.service")
+        fleets = getattr(self.sim, self._ATTR, None)
+        if fleets is None:
+            fleets = []
+            setattr(self.sim, self._ATTR, fleets)
+        fleets.append(self)
+
+    @classmethod
+    def all_of(cls, sim: Any) -> List["FleetManager"]:
+        """Every manager built on ``sim`` (empty when the run had none)."""
+        return list(getattr(sim, cls._ATTR, ()))
+
+    # -- queue state ---------------------------------------------------------
+    def queue_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def quiescent(self) -> bool:
+        return self.in_flight == 0 and self.queue_depth() == 0
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, key: str, kind: str, work: Callable[[], Generator], *,
+               card: Optional[CardRef] = None, priority: int = BACKGROUND,
+               proc: Any = None) -> FleetTicket:
+        """Enqueue one keyed unit of work; returns its ticket immediately."""
+        return self.submit_batch([FleetRequest(
+            key=key, kind=kind, work=work, card=card, priority=priority,
+            proc=proc,
+        )])[0]
+
+    def submit_batch(self, requests: Sequence[FleetRequest]) -> List[FleetTicket]:
+        """Enqueue a batch; returns one ticket per request, in order."""
+        tickets = []
+        for req in requests:
+            if req.priority not in self._queues:
+                raise ValueError(f"unknown priority {req.priority!r}")
+            done = Event(self.sim, name=f"{self.name}:{req.key}.done")
+            ticket = FleetTicket(req, self.sim.now, done)
+            self.tickets.append(ticket)
+            self._queues[req.priority].append(ticket)
+            self.m_submitted.inc()
+            self.sim.trace.emit(
+                "fleet.submit", key=req.key, kind=req.kind,
+                card=req.card.key if req.card else None,
+                priority=PRIORITY_NAMES[req.priority],
+            )
+            tickets.append(ticket)
+        self._pump()
+        return tickets
+
+    # -- the standard operation submitters ------------------------------------
+    def submit_checkpoint(self, key: str, snap: Any, *,
+                          card: Optional[CardRef] = None,
+                          priority: int = BACKGROUND) -> FleetTicket:
+        """A full non-terminating checkpoint cycle on a prepared handle."""
+        from .ops import capture_sequence
+
+        def work():
+            return (yield from capture_sequence(snap))
+
+        return self.submit(key, "checkpoint", work, card=card,
+                           priority=priority, proc=snap.coiproc.host_proc)
+
+    def submit_swap_cycle(self, key: str, coiproc: Any, engine: Any,
+                          snapshot_path: str, *,
+                          card: Optional[CardRef] = None,
+                          priority: int = SWAP) -> FleetTicket:
+        """Swap a process out to ``snapshot_path`` and straight back in on
+        ``engine`` — the scheduler's make-room/reclaim pair as one keyed
+        fleet operation."""
+        from .usecases import snapify_swapin, snapify_swapout
+
+        host_proc = coiproc.host_proc
+
+        def work():
+            snap = yield from snapify_swapout(snapshot_path, coiproc)
+            yield from snapify_swapin(snap, engine, host_proc)
+            return snap.op.result
+
+        return self.submit(key, "swap", work, card=card, priority=priority,
+                           proc=host_proc)
+
+    def submit_migrate(self, key: str, coiproc: Any, engine_to: Any,
+                       snapshot_path: str, *,
+                       card: Optional[CardRef] = None,
+                       priority: int = MAINTENANCE) -> FleetTicket:
+        """Migrate a process to ``engine_to`` (maintenance priority: this
+        is how a card is evacuated)."""
+        from .usecases import snapify_migration
+
+        def work():
+            _new, snap = yield from snapify_migration(
+                coiproc, engine_to, snapshot_path
+            )
+            return snap.op.result
+
+        return self.submit(key, "migrate", work, card=card, priority=priority,
+                           proc=coiproc.host_proc)
+
+    def submit_restore(self, key: str, snap: Any, engine: Any, host_proc: Any,
+                       *, card: Optional[CardRef] = None,
+                       priority: int = SWAP) -> FleetTicket:
+        """Swap a previously swapped-out handle back in on ``engine``."""
+        from .usecases import snapify_swapin
+
+        def work():
+            yield from snapify_swapin(snap, engine, host_proc)
+            return snap.op.result
+
+        return self.submit(key, "restore", work, card=card, priority=priority,
+                           proc=host_proc)
+
+    # -- collection -----------------------------------------------------------
+    def collect(self, tickets: Sequence[FleetTicket], *,
+                raise_on_error: bool = False):
+        """Sub-generator: wait until every ticket is terminal; returns the
+        keyed :class:`FleetResult`.  Duplicate keys in one batch are a
+        caller bug and rejected up front (the result map would silently
+        drop outcomes)."""
+        keyed: Dict[str, FleetTicket] = {}
+        for t in tickets:
+            if t.key in keyed:
+                raise SnapifyError(f"duplicate fleet key in batch: {t.key!r}")
+            keyed[t.key] = t
+        pending = [t.done for t in tickets if not t.done.triggered]
+        if pending:
+            yield self.sim.all_of(pending)
+        result = FleetResult(keyed)
+        if raise_on_error:
+            result.raise_on_error()
+        return result
+
+    # -- admission ------------------------------------------------------------
+    def _card_free(self, card: Optional[CardRef]) -> bool:
+        if card is None:
+            return True
+        return self._per_card.get(card.key, 0) < self.per_card_limit
+
+    def _pop_admissible(self) -> Optional[FleetTicket]:
+        """Highest-priority FIFO ticket whose card has a free slot.  A
+        request for a saturated card does not block requests for idle cards
+        queued behind it (head-of-line blocking would idle the fleet)."""
+        for priority in PRIORITIES:
+            queue = self._queues[priority]
+            for i, ticket in enumerate(queue):
+                if self._card_free(ticket.card):
+                    del queue[i]
+                    return ticket
+        return None
+
+    def _pump(self) -> None:
+        """Admit as many queued tickets as the caps allow right now."""
+        while self.in_flight < self.max_in_flight:
+            ticket = self._pop_admissible()
+            if ticket is None:
+                return
+            self._admit(ticket)
+
+    def _admit(self, ticket: FleetTicket) -> None:
+        self.in_flight += 1
+        self.hwm_in_flight = max(self.hwm_in_flight, self.in_flight)
+        if ticket.card is not None:
+            key = ticket.card.key
+            held = self._per_card.get(key, 0) + 1
+            self._per_card[key] = held
+            if held > self.hwm_per_card.get(key, 0):
+                self.hwm_per_card[key] = held
+        ticket.state = RUNNING
+        ticket.admitted = self.sim.now
+        self._wait_hist[ticket.priority].observe(ticket.queue_wait)
+        self.sim.trace.emit("fleet.admit", key=ticket.key, kind=ticket.kind,
+                            in_flight=self.in_flight)
+        request = ticket._request
+        runner = self._run(ticket)
+        try:
+            if request.proc is not None:
+                request.proc.spawn_thread(
+                    runner, name=f"fleet:{ticket.key}", daemon=True
+                )
+            else:
+                self.sim.spawn(runner, name=f"fleet:{ticket.key}", daemon=True)
+        except Exception as exc:
+            # The owning process died between submit and admission: the
+            # runner never started, so settle the ticket here.
+            runner.close()
+            self._finish(ticket, error=f"{type(exc).__name__}: {exc}")
+
+    def _run(self, ticket: FleetTicket):
+        try:
+            result = yield from ticket._request.work()
+        except SnapifyError as exc:
+            self._finish(ticket, error=str(exc))
+            return
+        except Exception as exc:  # infrastructure death (card/endpoint gone)
+            self._finish(ticket, error=f"{type(exc).__name__}: {exc}")
+            return
+        except BaseException as exc:  # teardown (thread killed / interrupted)
+            self._finish(ticket, error=f"{type(exc).__name__}: {exc}")
+            raise
+        self._finish(ticket, result=result)
+
+    def _finish(self, ticket: FleetTicket, *, result: Any = None,
+                error: Optional[str] = None) -> None:
+        if ticket.state in TICKET_TERMINAL:
+            return
+        ticket.state = FAILED if error is not None else DONE
+        ticket.result = result
+        ticket.error = error
+        ticket.finished = self.sim.now
+        if isinstance(result, OperationResult):
+            op = OperationManager.of(self.sim).operations.get(result.op_id)
+            if op is not None:
+                op.fleet_key = ticket.key
+        self.in_flight -= 1
+        if ticket.card is not None:
+            key = ticket.card.key
+            held = self._per_card.get(key, 1) - 1
+            if held:
+                self._per_card[key] = held
+            else:
+                self._per_card.pop(key, None)
+        (self.m_failed if error is not None else self.m_completed).inc()
+        if ticket.service_time is not None:
+            self._service_hist.observe(ticket.service_time)
+        self.sim.trace.emit("fleet.finish", key=ticket.key, kind=ticket.kind,
+                            state=ticket.state, error=error)
+        ticket.done.succeed(ticket)
+        self._pump()
+
+    # -- health sweeps ---------------------------------------------------------
+    def health_sweep(self, cards: Optional[Sequence[CardRef]] = None, *,
+                     probe_bytes: int = 1024 * 1024,
+                     priority: int = MAINTENANCE):
+        """Sub-generator: probe every card (bounded by the same admission
+        machinery as real operations) and return the :class:`HealthReport`.
+
+        A probe is a small timed RAM-FS write on the card — it rides the
+        card's memory bandwidth, so a card saturated by captures shows up
+        as a straggler, and a dead card (failed, link down, OS gone) fails
+        the probe outright.
+        """
+        if cards is None:
+            if self.fleet is None:
+                raise SnapifyError("health_sweep needs a fleet (or explicit cards)")
+            cards = self.fleet.cards()
+        sweep_id = next(self._probe_ids)
+        tickets = [
+            self.submit(f"probe{sweep_id}:{card.key}", "probe",
+                        self._probe_work(card, probe_bytes),
+                        card=card, priority=priority)
+            for card in cards
+        ]
+        result = yield from self.collect(tickets)
+        entries = []
+        for card, ticket in zip(cards, tickets):
+            if ticket.ok:
+                entries.append(ticket.result)
+            else:
+                entries.append(CardHealth(card=card.key, ok=False,
+                                          latency=None, error=ticket.error))
+        report = HealthReport(entries, when=self.sim.now)
+        self.sim.trace.emit("fleet.health", cards=len(entries),
+                            failed=len(report.failed),
+                            stragglers=len(report.stragglers()))
+        return report
+
+    def _probe_work(self, card: CardRef, probe_bytes: int):
+        def work():
+            phi = self.fleet.phi(card)
+            if getattr(phi, "failed", False):
+                raise SnapifyError(f"{card.key}: card failed")
+            if phi.link_down:
+                raise SnapifyError(f"{card.key}: PCIe link down")
+            if phi.os is None:
+                raise SnapifyError(f"{card.key}: no OS booted")
+            path = f"/.fleet/probe{next(self._probe_ids)}"
+            t0 = self.sim.now
+            yield from phi.os.fs.write(path, probe_bytes)
+            yield from phi.os.fs.read(path)
+            phi.os.fs.unlink(path)
+            return CardHealth(card=card.key, ok=True, latency=self.sim.now - t0)
+
+        return work
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe manager snapshot (CLI, repro artifacts)."""
+        return {
+            "name": self.name,
+            "max_in_flight": self.max_in_flight,
+            "per_card_limit": self.per_card_limit,
+            "submitted": len(self.tickets),
+            "queue_depth": self.queue_depth(),
+            "in_flight": self.in_flight,
+            "hwm_in_flight": self.hwm_in_flight,
+            "hwm_per_card": dict(self.hwm_per_card),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FleetManager {self.name} in_flight={self.in_flight}/"
+                f"{self.max_in_flight} queued={self.queue_depth()}>")
+
+
+# ---------------------------------------------------------------------------
+# The standard mixed-load sweep (CLI, perfgate, fuzz scenario, README demo)
+# ---------------------------------------------------------------------------
+
+
+def fleet_sweep(fleet: Any, manager: FleetManager, *, ops_per_card: int = 4,
+                buffer_bytes: int = 4 * 1024 * 1024):
+    """Sub-generator: spawn ``ops_per_card`` offload processes on every card
+    and drive a mixed checkpoint/swap/migrate load through ``manager``.
+
+    Per card, slot ``s`` runs: a swap cycle when ``s % 3 == 1``, a migration
+    to the node's next card when ``s % 3 == 2`` (a checkpoint when the node
+    has only one card), and a background checkpoint otherwise.  Returns the
+    collected :class:`FleetResult` over all ``cards * ops_per_card`` keyed
+    operations.
+    """
+    from ..coi import OffloadBinary, OffloadFunction
+    from ..testbed import offload_process
+    from .api import snapify_t
+
+    def _dead_card(card: CardRef, exc: Exception):
+        # A card that dies while its processes are being spawned still owes
+        # the batch a keyed outcome: route the spawn failure through the
+        # normal ticket machinery as an immediately-failing work item.
+        def work():
+            raise SnapifyError(f"{card.key}: spawn failed: {exc}")
+            yield  # pragma: no cover - makes this a generator
+
+        return work
+
+    cards = fleet.cards()
+    prepared: List[Tuple[CardRef, int, Any]] = []
+    for card in cards:
+        server = fleet.server(card.node)
+        for slot in range(ops_per_card):
+            binary = OffloadBinary(
+                name=f"fleet_{card.node}_{card.device}_{slot}.so",
+                image_size=8 * 1024 * 1024,
+                functions={"step": OffloadFunction("step", duration=0.05)},
+            )
+            try:
+                coiproc, _ = yield from offload_process(
+                    server, f"fl_{card.key}_s{slot}", binary,
+                    device=card.device, buffers=[(buffer_bytes, slot + 1)],
+                )
+            except Exception as exc:
+                prepared.append((card, slot, _dead_card(card, exc)))
+            else:
+                prepared.append((card, slot, coiproc))
+
+    tickets: List[FleetTicket] = []
+    for card, slot, coiproc in prepared:
+        if callable(coiproc):  # spawn failed; coiproc is the failing work
+            tickets.append(manager.submit(
+                f"{card.key}/op{slot}", "checkpoint", coiproc, card=card,
+            ))
+            continue
+        key = f"{card.key}/op{slot}"
+        server = fleet.server(card.node)
+        n_devices = len(server.node.phis)
+        shape = slot % 3
+        if shape == 1:
+            tickets.append(manager.submit_swap_cycle(
+                key, coiproc, server.engine(card.device),
+                f"/fleet/swap_{card.key}_{slot}", card=card,
+            ))
+        elif shape == 2 and n_devices > 1:
+            target = (card.device + 1) % n_devices
+            tickets.append(manager.submit_migrate(
+                key, coiproc, server.engine(target),
+                f"/fleet/mig_{card.key}_{slot}", card=card,
+            ))
+        else:
+            snap = snapify_t(snapshot_path=f"/fleet/ckpt_{card.key}_{slot}",
+                             coiproc=coiproc)
+            tickets.append(manager.submit_checkpoint(key, snap, card=card))
+
+    result = yield from manager.collect(tickets)
+    return result

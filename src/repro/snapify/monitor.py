@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict
 
 from ..blcr import cr_restart
+from ..coi.buffer import localstore_path as buffer_localstore_path
 from ..coi.daemon import COIDaemon, DaemonEntry
 from ..obs.registry import MetricsRegistry
 from ..osim.pipes import DuplexPipe
@@ -274,9 +275,16 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     #    the pause already staged them on THIS card (the paper's direct
     #    device-to-device path), so they only need a local copy; otherwise
     #    they stream in from the SCIF node that holds them (usually 0).
+    #    Files land in a snapshot-keyed staging directory, NOT at their
+    #    original /tmp/coi_procs/<pid> paths: a live process on this card
+    #    may legitimately own that pid, and its exit cleanup would unlink
+    #    the restored bytes out from under us (pids are only unique per
+    #    card). They move to the restored process's own pid directory once
+    #    that pid exists (step 3).
     ls_node = msg.get("localstore_node", 0)
     my_node = daemon.phi.scif_node_id
     staging = c.localstore_path(path)
+    stage_dir = f"{staging}.restore"
     sub = daemon.sim.trace.span("daemon.restore.localstore_in", parent=sp,
                                 node=ls_node)
     if ls_node == my_node and phi_os.fs.exists(staging):
@@ -284,8 +292,9 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
         records = list(f.payload) if isinstance(f.payload, list) else []
         meta = records[-1] if records else {"buffers": {}}
         for buf_id, info in meta["buffers"].items():
-            phi_os.fs.create(info["path"])
-            yield from phi_os.fs.write(info["path"], info["size"],
+            staged = f"{stage_dir}/buf_{buf_id}"
+            phi_os.fs.create(staged)
+            yield from phi_os.fs.write(staged, info["size"],
                                        payload=info["payload"])
         phi_os.fs.unlink(staging)  # release the staging copy
     else:
@@ -295,8 +304,9 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
         ls_fd.close()
         meta = records[-1] if records else {"buffers": {}}
         for buf_id, info in meta["buffers"].items():
-            phi_os.fs.create(info["path"])
-            yield from phi_os.fs.write(info["path"], info["size"],
+            staged = f"{stage_dir}/buf_{buf_id}"
+            phi_os.fs.create(staged)
+            yield from phi_os.fs.write(staged, info["size"],
                                        payload=info["payload"])
     sub.finish()
 
@@ -309,6 +319,16 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     ctx_fd.close()
     sub.finish()
     proc.store["_listen_port"] = port
+
+    # The restored process's pid now exists: claim the staged local store
+    # under it (metadata-only renames, instantaneous) and point the
+    # process's buffer table at the new paths.
+    buffers = proc.store.get("buffers", {})
+    for buf_id, info in sorted(meta["buffers"].items()):
+        dst = buffer_localstore_path(proc.pid, buf_id)
+        phi_os.fs.rename(f"{stage_dir}/buf_{buf_id}", dst)
+        if buf_id in buffers:
+            buffers[buf_id]["path"] = dst
 
     pipe = DuplexPipe(daemon.sim, name=f"snapify-pipe:{proc.pid}")
     proc.runtime["snapify_pipe_pending"] = pipe.b

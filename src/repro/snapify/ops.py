@@ -49,7 +49,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..sim.events import Event
 from .monitor import SnapifyError
@@ -122,7 +122,7 @@ class SnapifyOperation:
 
     __slots__ = ("op_id", "kind", "manager", "snap", "pid", "span_id",
                  "state", "error", "failed_phase", "terminate", "history",
-                 "done", "result", "channel", "attempts")
+                 "done", "result", "channel", "attempts", "fleet_key")
 
     def __init__(self, manager: "OperationManager", op_id: int, kind: str,
                  snap: Any = None, span_id: int = 0):
@@ -144,6 +144,9 @@ class SnapifyOperation:
         #: Transfer provenance, set by the agent/TransferManager.
         self.channel: Optional[str] = None
         self.attempts: int = 1
+        #: Fleet attribution: the FleetManager ticket key that issued this
+        #: operation (None for directly-driven operations).
+        self.fleet_key: Optional[str] = None
 
     @staticmethod
     def _pid_of(snap: Any) -> int:
@@ -170,7 +173,7 @@ class SnapifyOperation:
 
     def describe(self) -> Dict[str, Any]:
         """JSON-safe summary (repro artifacts, RunResult, CLI tables)."""
-        return {
+        out = {
             "op": self.op_id,
             "kind": self.kind,
             "pid": self.pid,
@@ -179,6 +182,9 @@ class SnapifyOperation:
             "failed_phase": self.failed_phase,
             "started": self.history[0][1],
         }
+        if self.fleet_key is not None:
+            out["fleet_key"] = self.fleet_key
+        return out
 
     # -- transitions --------------------------------------------------------
     def transition(self, state: str, **fields: Any) -> None:
@@ -364,6 +370,31 @@ class OperationManager:
             raise SnapifyError(f"{len(failed)} operation(s) failed: {detail}",
                                op_id=first.op_id, phase=first.failed_phase)
         return [op.result for op in ops]
+
+    def wait_map(self, ops: "Mapping[str, SnapifyOperation]", *,
+                 raise_on_error: bool = False):
+        """Sub-generator: block until every keyed operation is terminal.
+
+        Fleet-style waiting: returns ``{key: OperationResult}`` so callers
+        driving many applications at once (one key per app/card) get their
+        outcomes back addressable, failures included.  With
+        ``raise_on_error`` the aggregate error names keys, not op ids.
+        """
+        items = list(ops.items())
+        pending = [op.done for _, op in items if not op.done.triggered]
+        if pending:
+            yield self.sim.all_of(pending)
+        failed = [(key, op) for key, op in items if op.state == FAILED]
+        if raise_on_error and failed:
+            detail = "; ".join(
+                f"{key} ({op.kind}) failed in {op.failed_phase}: {op.error}"
+                for key, op in failed
+            )
+            raise SnapifyError(
+                f"{len(failed)} keyed operation(s) failed: {detail}",
+                op_id=failed[0][1].op_id, phase=failed[0][1].failed_phase,
+            )
+        return {key: op.result for key, op in items}
 
     # -- endpoint demultiplexing ----------------------------------------------
     def recv_reply(self, op: SnapifyOperation, ep: Any):

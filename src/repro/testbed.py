@@ -14,7 +14,8 @@ cluster.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from .coi.daemon import COIDaemon
 from .coi.engine import COIEngine
@@ -107,6 +108,101 @@ class XeonPhiCluster:
 
     def server(self, i: int) -> XeonPhiServer:
         return self.servers[i]
+
+    def run(self, gen: SimGen, name: str = "driver") -> Any:
+        t = self.sim.spawn(gen, name=name)
+        self.sim.run_until(t.done)
+        return t.done.value
+
+
+# ---------------------------------------------------------------------------
+# Fleet topologies — pre-baked, reproducible multi-node layouts (the gem5
+# standard-library idea: CI and demos name a topology instead of hand-rolling
+# node counts, so "rack32" means the same 32 cards everywhere).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """A named fleet layout: how many servers, how many Phis per server."""
+
+    name: str
+    n_nodes: int
+    phis_per_node: int
+    description: str = ""
+
+    @property
+    def cards(self) -> int:
+        return self.n_nodes * self.phis_per_node
+
+
+FLEET_TOPOLOGIES: Dict[str, FleetTopology] = {
+    t.name: t
+    for t in (
+        FleetTopology("dev2", 1, 2, "the paper's single dual-Phi server"),
+        FleetTopology("rack8", 4, 2, "four dual-Phi servers (one rack unit)"),
+        FleetTopology("rack32", 8, 4, "eight quad-Phi servers (a full rack)"),
+        FleetTopology("pod64", 16, 4, "sixteen quad-Phi servers (two racks)"),
+        FleetTopology("hall128", 16, 8, "sixteen 8-Phi servers (machine hall)"),
+    )
+}
+
+
+class XeonPhiFleet:
+    """A booted multi-node, multi-Phi fleet built from a named topology.
+
+    Like :class:`XeonPhiCluster` but sized for fleet-control-plane work:
+    many cards per node, addressed uniformly by :class:`~repro.snapify.
+    fleet.CardRef` so one :class:`~repro.snapify.fleet.FleetManager` can
+    drive every card behind one key space.
+    """
+
+    def __init__(self, topology: Any = "rack32",
+                 sim: Optional[Simulator] = None,
+                 params: Optional[HardwareParams] = None):
+        if isinstance(topology, str):
+            try:
+                topology = FLEET_TOPOLOGIES[topology]
+            except KeyError:
+                known = ", ".join(sorted(FLEET_TOPOLOGIES))
+                raise ValueError(
+                    f"unknown fleet topology {topology!r} (known: {known})"
+                ) from None
+        self.topology: FleetTopology = topology
+        self.sim = sim or Simulator()
+        if params is None:
+            from .calibration import paper_testbed
+
+            params = paper_testbed(phis_per_node=topology.phis_per_node)
+        self.params = params
+        self.cluster = Cluster(self.sim, self.params, n_nodes=topology.n_nodes)
+        self.servers: List[XeonPhiServer] = [
+            XeonPhiServer(sim=self.sim, params=self.params, node=node)
+            for node in self.cluster.nodes
+        ]
+
+    def __len__(self) -> int:
+        return self.topology.cards
+
+    def cards(self) -> List[Any]:
+        """Every card in the fleet as a CardRef, node-major order."""
+        from .snapify.fleet import CardRef
+
+        return [
+            CardRef(node=n, device=d)
+            for n in range(self.topology.n_nodes)
+            for d in range(self.topology.phis_per_node)
+        ]
+
+    def server(self, node: int) -> XeonPhiServer:
+        return self.servers[node]
+
+    def phi(self, card: Any):
+        """The PhiDevice behind a CardRef."""
+        return self.servers[card.node].node.phis[card.device]
+
+    def engine(self, card: Any) -> COIEngine:
+        return self.servers[card.node].engine(card.device)
 
     def run(self, gen: SimGen, name: str = "driver") -> Any:
         t = self.sim.spawn(gen, name=name)

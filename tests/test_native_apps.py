@@ -1,0 +1,142 @@
+"""Tests for the native (card-only) micro-benchmarks (repro.apps.native).
+
+The Table 3 copy micro-benchmark and the Table 4 malloc-loop BLCR workload
+back the evaluation benchmarks; these tests pin their semantics — every
+method/direction moves the bytes and reports a positive elapsed time, the
+relative ordering the paper measures holds (Snapify-IO beats scp), RAM-FS
+pressure is cleaned up between runs, and a checkpointed malloc loop
+restarts with its progress intact through each storage backend.
+"""
+
+import pytest
+
+from repro.apps.native import MallocLoopBenchmark, copy_microbenchmark
+from repro.hw import MB
+from repro.hw.memory import MemoryExhausted
+from repro.testbed import XeonPhiServer
+
+COPY_METHODS = ["scp", "nfs", "snapify-io"]
+
+
+@pytest.mark.parametrize("direction", ["to_host", "to_phi"])
+def test_copy_moves_bytes_every_method(direction):
+    server = XeonPhiServer()
+    elapsed = {}
+
+    def driver(sim):
+        for method in COPY_METHODS:
+            elapsed[method] = yield from copy_microbenchmark(
+                server, method, direction, 64 * MB
+            )
+
+    server.run(driver(server.sim))
+    assert all(t > 0 for t in elapsed.values())
+    # Table 3's headline: Snapify-IO beats scp in both directions.
+    assert elapsed["snapify-io"] < elapsed["scp"]
+
+
+def test_copy_cleans_up_card_ramfs():
+    server = XeonPhiServer()
+    phi_mem = server.node.phis[0].memory
+    before = phi_mem.by_category.get("ramfs", 0)
+
+    def driver(sim):
+        yield from copy_microbenchmark(server, "scp", "to_host", 32 * MB)
+
+    server.run(driver(server.sim))
+    assert phi_mem.by_category.get("ramfs", 0) == before
+
+
+def test_copy_rejects_unknown_method():
+    server = XeonPhiServer()
+
+    def driver(sim):
+        yield from copy_microbenchmark(server, "carrier-pigeon", "to_host", MB)
+
+    with pytest.raises(ValueError, match="unknown method"):
+        server.run(driver(server.sim))
+
+
+@pytest.mark.parametrize("method", ["local", "nfs", "nfs-buffered-kernel",
+                                    "nfs-buffered-user", "snapify-io"])
+def test_malloc_loop_checkpoints_through_every_backend(method):
+    server = XeonPhiServer()
+    bench = MallocLoopBenchmark(server, malloc_bytes=64 * MB)
+
+    def driver(sim):
+        proc = yield from bench.start()
+        assert proc.alive and proc.memory_footprint >= 64 * MB
+        yield sim.timeout(0.1)
+        elapsed = yield from bench.checkpoint(method)
+        bench.stop()
+        return elapsed
+
+    elapsed = server.run(driver(server.sim))
+    assert elapsed > 0
+    assert not bench.proc.alive
+
+
+@pytest.mark.parametrize("method", ["local", "nfs", "snapify-io"])
+def test_malloc_loop_restart_preserves_progress(method):
+    server = XeonPhiServer()
+    bench = MallocLoopBenchmark(server, malloc_bytes=16 * MB)
+    out = {}
+
+    def driver(sim):
+        yield from bench.start()
+        yield sim.timeout(0.2)  # let the spin loop accumulate progress
+        # The context captures the store as of checkpoint start; the live
+        # loop keeps spinning while slow backends stream the image out.
+        out["spins_at_ckpt"] = bench.proc.store["spins"]
+        yield from bench.checkpoint(method)
+        bench.stop()
+        yield sim.timeout(0.05)
+        if method != "local":
+            server.host_os.fs.drop_caches()  # restart-after-failure is cold
+        proc, elapsed = yield from bench.restart(method)
+        out["restarted"] = proc
+        out["elapsed"] = elapsed
+        yield sim.timeout(0.1)  # the restored loop keeps spinning
+        out["spins_after"] = proc.store["spins"]
+        proc.terminate()
+
+    server.run(driver(server.sim))
+    assert out["elapsed"] > 0
+    assert out["spins_at_ckpt"] > 0
+    assert out["spins_after"] > out["spins_at_ckpt"]
+    assert out["restarted"].os is server.phi_os(0)
+
+
+def test_malloc_loop_local_checkpoint_can_oom():
+    """Table 4's 'Local' column at 4 GB: the RAM-FS copy cannot fit next to
+    the 4 GB heap on an 8 GB card."""
+    from repro.hw.params import GB
+
+    server = XeonPhiServer()
+    bench = MallocLoopBenchmark(server, malloc_bytes=4 * GB)
+
+    def driver(sim):
+        yield from bench.start()
+        yield sim.timeout(0.05)
+        try:
+            yield from bench.checkpoint("local")
+        except MemoryExhausted:
+            return "OOM"
+        return "fit"
+
+    assert server.run(driver(server.sim)) == "OOM"
+
+
+def test_malloc_loop_rejects_unknown_methods():
+    server = XeonPhiServer()
+    bench = MallocLoopBenchmark(server, malloc_bytes=MB)
+
+    def driver(sim):
+        yield from bench.start()
+        with pytest.raises(ValueError, match="unknown method"):
+            yield from bench.checkpoint("tape")
+        with pytest.raises(ValueError, match="unknown method"):
+            yield from bench.restart("tape")
+        bench.stop()
+
+    server.run(driver(server.sim))

@@ -105,11 +105,13 @@ def test_unknown_scenario_is_rejected():
 
 def test_scenario_names_expand_fault_phases():
     names = scenario_names()
-    assert set(SCENARIOS) - {"checkpoint_fault", "transfer_fault"} <= set(names)
+    parameterized = {"checkpoint_fault", "transfer_fault", "fleet"}
+    assert set(SCENARIOS) - parameterized <= set(names)
     for phase in CHECKPOINT_FAULT_PHASES:
         assert f"checkpoint_fault:{phase}" in names
     for mode in TRANSFER_FAULT_MODES:
         assert f"transfer_fault:{mode}" in names
+    assert "fleet:rack8" in names
 
 
 def test_fuzz_smoke_all_scenarios_pass_oracles():
