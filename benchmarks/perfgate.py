@@ -225,6 +225,55 @@ def wl_fleet_sweep(topology="rack32", ops_per_card=4):
     return next(fleet.sim._seq)  # total kernel events scheduled
 
 
+def wl_telemetry_overhead(topology="rack8", ops_per_card=4, interval=0.05):
+    """The telemetry tax: the same fleet sweep with the sampler off and on.
+
+    Runs ``wl_fleet_sweep``'s workload twice — stock, then with the
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder` installed at a
+    production interval — and asserts the enabled sampler inflates the
+    kernel event count by < 5%. The score is the telemetry-on run's event
+    count, so a chatty sampler shows up both in the assertion and as a
+    throughput regression.
+    """
+    from repro.obs.timeseries import TelemetryConfig, TimeSeriesRecorder
+    from repro.snapify.fleet import FleetManager, fleet_sweep
+    from repro.testbed import XeonPhiFleet
+
+    def sweep(telemetry):
+        fleet = XeonPhiFleet(topology)
+        recorder = None
+        if telemetry:
+            recorder = TimeSeriesRecorder.install(
+                fleet.sim, TelemetryConfig(interval=interval)
+            )
+        manager = FleetManager(fleet, max_in_flight=16, per_card_limit=2)
+
+        def driver():
+            result = yield from fleet_sweep(fleet, manager,
+                                            ops_per_card=ops_per_card)
+            if recorder is not None:
+                recorder.stop()
+            return result
+
+        result = fleet.run(driver())
+        assert result.ok, f"fleet sweep failed: {result.summary()}"
+        return next(fleet.sim._seq)
+
+    events_off = sweep(telemetry=False)
+    events_on = sweep(telemetry=True)
+    overhead = (events_on - events_off) / events_off
+    assert overhead < 0.05, (
+        f"telemetry sampler overhead {overhead:.1%} >= 5% "
+        f"({events_on} vs {events_off} kernel events)"
+    )
+    wl_telemetry_overhead.extras = {
+        "events_off": events_off,
+        "events_on": events_on,
+        "overhead_pct": round(overhead * 100, 3),
+    }
+    return events_on
+
+
 WORKLOADS = {
     "event_dispatch": wl_event_dispatch,
     "ping_pong": wl_ping_pong,
@@ -234,6 +283,7 @@ WORKLOADS = {
     "concurrent_checkpoints": wl_concurrent_checkpoints,
     "remote_checkpoint": wl_remote_checkpoint,
     "fleet_sweep": wl_fleet_sweep,
+    "telemetry_overhead": wl_telemetry_overhead,
 }
 
 

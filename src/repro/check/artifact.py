@@ -34,6 +34,9 @@ class ReproArtifact:
     #: describe() dicts of the run's Snapify operations (id, kind, pid,
     #: state, error) — triage starts from the operation that wedged.
     operations: List[Dict[str, Any]] = field(default_factory=list)
+    #: Flight-recorder post-mortem bundle of the failing run (recent trace
+    #: records per category, active ops, alert state, metric snapshot).
+    postmortem: Optional[Dict[str, Any]] = None
     version: int = FORMAT_VERSION
 
     @classmethod
@@ -50,6 +53,7 @@ class ReproArtifact:
             waitfor=result.waitfor,
             final_time=result.final_time,
             operations=list(getattr(result, "operations", [])),
+            postmortem=getattr(result, "postmortem", None),
         )
 
     # -- persistence -------------------------------------------------------
@@ -80,3 +84,18 @@ class ReproArtifact:
         """Stable, filesystem-safe name for this artifact."""
         scen = self.scenario.replace(":", "-")
         return f"repro_{scen}_seed{self.seed}.json"
+
+    def flight_filename(self) -> str:
+        """Name of the sibling flight-recorder bundle dump."""
+        scen = self.scenario.replace(":", "-")
+        return f"repro_{scen}_seed{self.seed}.flight.json"
+
+    def save_flight(self, path: str) -> Optional[str]:
+        """Write the post-mortem bundle alone (CI uploads it as an
+        artifact); returns the path, or None when the run had no bundle."""
+        if self.postmortem is None:
+            return None
+        with open(path, "w") as f:
+            json.dump(self.postmortem, f, indent=2, sort_keys=True)
+            f.write("\n")
+        return path

@@ -145,6 +145,11 @@ def fuzz(
                     os.makedirs(artifact_dir, exist_ok=True)
                     path = os.path.join(artifact_dir, art.filename())
                     report.artifact_paths.append(art.save(path))
+                    flight = art.save_flight(
+                        os.path.join(artifact_dir, art.flight_filename())
+                    )
+                    if flight is not None:
+                        report.artifact_paths.append(flight)
                 if fail_fast:
                     return report
     return report

@@ -86,6 +86,10 @@ class RunResult:
     #: describe() dicts of every Snapify operation the run issued — failed
     #: seeds name the operation (id, kind, pid, state) that wedged.
     operations: List[Dict[str, Any]] = field(default_factory=list)
+    #: Flight-recorder post-mortem bundle (recent events + active ops +
+    #: alert state + metric snapshot), attached only to failed runs — see
+    #: :func:`repro.obs.recorder.postmortem_bundle`.
+    postmortem: Optional[Dict[str, Any]] = None
 
     def summary(self) -> str:
         verdict = "ok" if self.ok else "FAIL"
@@ -529,6 +533,11 @@ def run_scenario(
     ok = not violations and outcome in ("completed", "faulted", "clean_error")
     mgr = OperationManager.peek(sim)
     operations = [op.describe() for op in mgr.operations.values()] if mgr else []
+    postmortem = None
+    if not ok:
+        from ..obs.recorder import postmortem_bundle
+
+        postmortem = postmortem_bundle(sim)
     return RunResult(
         scenario=name,
         seed=seed,
@@ -542,4 +551,5 @@ def run_scenario(
         waitfor=waitfor,
         trace_digest=_trace_digest(sim) if capture_trace else None,
         operations=operations,
+        postmortem=postmortem,
     )

@@ -1,4 +1,4 @@
-"""Observability layer: spans, metrics, phase breakdowns, trace export.
+"""Observability layer: spans, metrics, time series, SLOs, trace export.
 
 Built on the span API of :mod:`repro.sim.trace` (begin/end records with
 causal parent ids), this package provides what the paper's evaluation
@@ -9,15 +9,27 @@ needed by hand:
 * :class:`PhaseBreakdown` / :func:`build_span_tree` — rebuild the causal
   span tree of a checkpoint/restart and render the Figure 9/10-style
   component table;
-* :func:`chrome_trace` / :func:`write_chrome_trace` /
-  :func:`validate_trace_events` — Chrome trace-event JSON export, one lane
-  per simulated process plus counter tracks;
-* the ``snapify trace`` CLI (:mod:`repro.obs.cli`).
+* :class:`TimeSeriesRecorder` — sim-clock sampler folding the registry
+  into ring-buffered series with exact phase-latency percentiles;
+* :class:`SLOEngine` + rule classes — declarative objectives evaluated
+  each sample tick, emitting ``alert.fire``/``alert.resolve`` records;
+* :class:`FlightRecorder` / :func:`postmortem_bundle` — bounded
+  last-N-records rings dumped as post-mortem bundles on failures;
+* :func:`chrome_trace` / :func:`prometheus_text` — Chrome trace-event
+  JSON and Prometheus text exports, with structural validators;
+* the ``snapify trace`` / ``snapify top`` CLI (:mod:`repro.obs.cli`).
 
 See docs/observability.md for the span model and the determinism rules.
 """
 
-from .export import chrome_trace, validate_trace_events, write_chrome_trace
+from .export import (
+    chrome_trace,
+    parse_prometheus_text,
+    prometheus_text,
+    validate_prometheus_text,
+    validate_trace_events,
+    write_chrome_trace,
+)
 from .phases import (
     OperationTimeline,
     PhaseBreakdown,
@@ -26,19 +38,53 @@ from .phases import (
     operation_table,
     operation_timelines,
 )
+from .recorder import FlightRecorder, postmortem_bundle
 from .registry import Counter, Histogram, MetricsRegistry
+from .slo import (
+    BurnRateSLO,
+    PercentileSLO,
+    SLOEngine,
+    SLORule,
+    StragglerSLO,
+    default_slos,
+    parse_slo,
+    robust_zscores,
+)
+from .timeseries import (
+    PercentileDigest,
+    Series,
+    TelemetryConfig,
+    TimeSeriesRecorder,
+)
 
 __all__ = [
+    "BurnRateSLO",
     "Counter",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "OperationTimeline",
+    "PercentileDigest",
+    "PercentileSLO",
     "PhaseBreakdown",
+    "SLOEngine",
+    "SLORule",
+    "Series",
     "SpanNode",
+    "StragglerSLO",
+    "TelemetryConfig",
+    "TimeSeriesRecorder",
     "build_span_tree",
     "chrome_trace",
+    "default_slos",
     "operation_table",
     "operation_timelines",
+    "parse_prometheus_text",
+    "parse_slo",
+    "postmortem_bundle",
+    "prometheus_text",
+    "robust_zscores",
+    "validate_prometheus_text",
     "validate_trace_events",
     "write_chrome_trace",
 ]

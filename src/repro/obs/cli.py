@@ -28,6 +28,15 @@ outcome table plus the closing health sweep:
     snapify fleet --topology rack32 --ops-per-card 2
     snapify fleet --max-in-flight 16 --per-card 2 --metrics
 
+``snapify top`` runs the same sweep with the telemetry sampler installed
+(:class:`~repro.obs.timeseries.TimeSeriesRecorder` + the stock SLOs) and
+renders a refreshing per-card dashboard — in-flight operations, queue
+depth, phase p99s, firing alerts — plus Prometheus-text / JSON exports:
+
+    snapify top                                # rack8 dashboard frames
+    snapify top --export prom --out metrics.prom
+    snapify top --fail-card 3 --export json    # inject a card failure
+
 Also reachable without installation as ``python -m repro.snapify trace``.
 """
 
@@ -38,7 +47,7 @@ import sys
 from typing import List, Optional, Tuple
 
 from .export import validate_trace_events, write_chrome_trace
-from .phases import PhaseBreakdown, operation_table, operation_timelines
+from .phases import PhaseBreakdown, operation_table
 from .registry import MetricsRegistry
 
 #: scenario name -> root span names whose breakdowns are printed.
@@ -112,16 +121,22 @@ def trace_command(args: argparse.Namespace) -> int:
 
     breakdowns: List[Tuple[str, PhaseBreakdown]] = []
     for root_name in SCENARIOS[args.scenario]:
-        breakdowns.append((root_name, PhaseBreakdown.from_trace(tracer, root_name)))
+        try:
+            breakdowns.append((root_name, PhaseBreakdown.from_trace(tracer, root_name)))
+        except ValueError as exc:
+            # A trace with no finished root span (or none at all) is a
+            # report, not a crash: say so and keep going.
+            print(f"(no phase breakdown for {root_name!r}: {exc})")
     for _, breakdown in breakdowns:
         print()
         print(breakdown.render())
 
     # The state-machine view: one row per operation, phases from op.state
     # transitions (distinguishes concurrent operations by correlation id).
-    if operation_timelines(tracer):
-        print()
-        print(operation_table(tracer).render())
+    # Always rendered — a trace with zero op.* records prints the empty
+    # table with a note instead of dying.
+    print()
+    print(operation_table(tracer).render())
 
     if args.metrics:
         snap = MetricsRegistry.of(server.sim).snapshot()
@@ -225,6 +240,153 @@ def fleet_command(args: argparse.Namespace) -> int:
             if name.startswith(manager.name):
                 print(f"  histogram  {name:40s} {summary}")
     return 0 if result.ok and not health.failed else 1
+
+
+def run_top(topology: str = "rack8", ops_per_card: int = 2,
+            max_in_flight: int = 8, per_card: int = 2,
+            interval: float = 0.05, settle: float = 1.0,
+            fail_card: Optional[int] = None, fail_at: float = 1.0,
+            slos: Optional[List[str]] = None,
+            on_frame=None, frame_every: int = 0):
+    """Run a telemetry-enabled fleet sweep; returns the live objects.
+
+    Boots ``topology``, installs the :class:`~repro.obs.timeseries.
+    TimeSeriesRecorder` (stock SLOs unless ``slos`` gives parseable
+    overrides), optionally schedules one card failure, drives
+    ``fleet_sweep`` + a health sweep, then idles ``settle`` simulated
+    seconds so windowed alerts can resolve before the sampler stops.
+    Returns ``(recorder, manager, result, health)``.
+    """
+    from ..sched.faults import FaultInjector
+    from ..snapify.fleet import FleetManager, fleet_sweep
+    from ..testbed import XeonPhiFleet
+    from .slo import default_slos, parse_slo
+    from .timeseries import TelemetryConfig, TimeSeriesRecorder
+
+    fleet = XeonPhiFleet(topology)
+    sim = fleet.sim
+    rules = [parse_slo(s) for s in slos] if slos else default_slos()
+    recorder = TimeSeriesRecorder.install(
+        sim, TelemetryConfig(interval=interval), slos=rules)
+    manager = FleetManager(fleet, max_in_flight=max_in_flight,
+                           per_card_limit=per_card)
+    if on_frame is not None and frame_every > 0:
+        def _frame(rec):
+            if rec.stats.ticks % frame_every == 0:
+                on_frame(rec, manager)
+        recorder.on_tick.append(_frame)
+    if fail_card is not None:
+        cards = fleet.cards()
+        victim = cards[fail_card % len(cards)]
+        injector = FaultInjector(sim)
+        injector.schedule_card_failure(fleet.phi(victim),
+                                       at=sim.now + fail_at)
+
+    def driver():
+        result = yield from fleet_sweep(fleet, manager,
+                                        ops_per_card=ops_per_card)
+        health = yield from manager.health_sweep()
+        yield sim.timeout(settle)
+        recorder.stop()
+        return result, health
+
+    result, health = fleet.run(driver())
+    return recorder, manager, result, health
+
+
+def render_top_frame(recorder, manager) -> str:
+    """One dashboard frame: the per-card table + the firing-alert lines."""
+    from ..metrics import ResultTable, fmt_time
+
+    table = ResultTable(
+        f"snapify top — t={recorder.sim.now:8.3f}s  "
+        f"in-flight {manager.in_flight}  queued {manager.queue_depth()}  "
+        f"tick {recorder.stats.ticks}",
+        ["card", "in-flight", "ops", "failed", "p99 pause", "p99 total", "alerts"],
+    )
+    engine = recorder.engine
+    firing_by_card = {}
+    firing_global = []
+    if engine is not None:
+        for key, alert in sorted(engine.firing.items()):
+            if alert.card is not None:
+                firing_by_card.setdefault(alert.card, []).append(alert.rule)
+            else:
+                firing_global.append(f"{alert.rule}: {alert.detail}")
+    counts = recorder.card_failure_counts()
+    for card in recorder.cards():
+        pause = recorder.phase_digest("pausing", card)
+        total = recorder.phase_digest("total", card)
+        n_ops, n_failed = counts.get(card, (0, 0))
+        table.add_row(
+            card,
+            manager._per_card.get(card, 0),
+            n_ops,
+            n_failed,
+            fmt_time(pause.p99) if pause is not None and pause.p99 is not None else "-",
+            fmt_time(total.p99) if total is not None and total.p99 is not None else "-",
+            ",".join(firing_by_card.get(card, [])) or "-",
+        )
+    for line in firing_global:
+        table.add_note(f"ALERT {line}")
+    if engine is not None and not engine.firing:
+        table.add_note("no alerts firing")
+    return table.render()
+
+
+def top_command(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .export import prometheus_text, validate_prometheus_text
+
+    def on_frame(recorder, manager):
+        print()
+        print(render_top_frame(recorder, manager))
+
+    recorder, manager, result, health = run_top(
+        topology=args.topology, ops_per_card=args.ops_per_card,
+        max_in_flight=args.max_in_flight, per_card=args.per_card,
+        interval=args.interval, settle=args.settle,
+        fail_card=args.fail_card, fail_at=args.fail_at,
+        slos=args.slo or None,
+        on_frame=on_frame if args.frames > 0 else None,
+        frame_every=max(1, recorder_ticks_per_frame(args)) if args.frames > 0 else 0,
+    )
+    print()
+    print(render_top_frame(recorder, manager))
+    engine = recorder.engine
+    if engine is not None and engine.history:
+        print()
+        print("alert history:")
+        for t, event, snap in engine.history:
+            print(f"  {t:8.3f}s {event:7s} {snap['key']} ({snap['detail']})"
+                  if event == "fire" else
+                  f"  {t:8.3f}s {event:7s} {snap['key']}")
+
+    if args.export == "prom":
+        text = prometheus_text(manager.sim, telemetry=recorder)
+        validate_prometheus_text(text)
+        _write_or_print(text, args.out)
+    elif args.export == "json":
+        doc = recorder.describe()
+        doc["fleet"] = manager.describe()
+        _write_or_print(_json.dumps(doc, indent=2, sort_keys=True) + "\n", args.out)
+    return 0 if result.ok or args.fail_card is not None else 1
+
+
+def recorder_ticks_per_frame(args: argparse.Namespace) -> int:
+    """Sample ticks between dashboard frames (~sweep seconds / frames)."""
+    approx_run_s = 4.0 + args.settle
+    return int(approx_run_s / max(args.interval, 1e-6) / max(args.frames, 1))
+
+
+def _write_or_print(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {out} ({len(text.splitlines())} lines)")
+    else:
+        print(text, end="")
 
 
 def fuzz_command(args: argparse.Namespace) -> int:
@@ -340,6 +502,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     fl.add_argument("--metrics", action="store_true",
                     help="print the fleet's metrics instruments")
     fl.set_defaults(fn=fleet_command)
+    tp = sub.add_parser(
+        "top",
+        help="telemetry-enabled fleet sweep with a live per-card dashboard "
+             "(phase p99s, queue depths, firing alerts) and prom/json export",
+    )
+    tp.add_argument("--topology", default="rack8",
+                    help="fleet topology name (default rack8)")
+    tp.add_argument("--ops-per-card", type=int, default=2,
+                    help="operations submitted per card (default 2)")
+    tp.add_argument("--max-in-flight", type=int, default=8,
+                    help="global admission cap (default 8)")
+    tp.add_argument("--per-card", type=int, default=2,
+                    help="per-card admission cap (default 2)")
+    tp.add_argument("--interval", type=float, default=0.05,
+                    help="simulated seconds between telemetry samples "
+                         "(default 0.05)")
+    tp.add_argument("--settle", type=float, default=1.0,
+                    help="idle simulated seconds after the sweep so windowed "
+                         "alerts can resolve (default 1.0)")
+    tp.add_argument("--frames", type=int, default=3,
+                    help="dashboard frames printed during the run "
+                         "(0 = final frame only; default 3)")
+    tp.add_argument("--fail-card", type=int, default=None, metavar="N",
+                    help="inject a failure of the N-th fleet card")
+    tp.add_argument("--fail-at", type=float, default=1.0,
+                    help="simulated seconds after boot to fail the card "
+                         "(default 1.0)")
+    tp.add_argument("--slo", action="append", default=[], metavar="SPEC",
+                    help='SLO override, repeatable (e.g. "pausing p99 < 50ms",'
+                         ' "burn_rate < 0.25", "straggler z > 3.5")')
+    tp.add_argument("--export", choices=("prom", "json"), default=None,
+                    help="also emit Prometheus text or the JSON telemetry "
+                         "summary")
+    tp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the --export payload to PATH instead of stdout")
+    tp.set_defaults(fn=top_command)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -19,7 +19,8 @@ rules and is what CI's format test runs.
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any, Dict, List
+import re
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.trace import Tracer
@@ -175,3 +176,237 @@ def validate_trace_events(doc: Dict[str, Any]) -> int:
         names = sorted(str(ev["name"]) for ev in open_async.values())[:8]
         raise ValueError(f"{len(open_async)} async span(s) never ended: {names}")
     return len(events)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+#
+# Dotted registry names become underscore-safe metric names; the structured
+# middle segments the fleet uses ("<x>.card.<n0.mic1>.<rest>" and
+# "<x>.prio.<label>.<rest>") are lifted into {card=...} / {priority=...}
+# labels so per-card grouping works in any Prometheus-compatible UI.
+# Histograms export with cumulative `le` buckets ending at +Inf (equal to
+# _count) — the shape scrapers require; parse_prometheus_text /
+# validate_prometheus_text round-trip that promise in CI.
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_CARD_SEG_RE = re.compile(r"^(?P<prefix>.+?)\.card\.(?P<card>n\d+\.mic\d+)\.(?P<rest>.+)$")
+_PRIO_SEG_RE = re.compile(r"^(?P<prefix>.+?)\.prio\.(?P<prio>[a-z]+)\.(?P<rest>.+)$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_NAME_RE.sub("_", name)
+
+
+def _split_labels(name: str) -> Tuple[str, Dict[str, str]]:
+    """Lift structured ".card.<key>." / ".prio.<label>." segments into labels."""
+    labels: Dict[str, str] = {}
+    m = _CARD_SEG_RE.match(name)
+    if m:
+        labels["card"] = m.group("card")
+        name = f"{m.group('prefix')}.{m.group('rest')}"
+    m = _PRIO_SEG_RE.match(name)
+    if m:
+        labels["priority"] = m.group("prio")
+        name = f"{m.group('prefix')}.{m.group('rest')}"
+    return name, labels
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(sim: Any, telemetry: Any = None) -> str:
+    """Prometheus text exposition of ``sim``'s registry (+ telemetry).
+
+    Includes every counter, numeric gauge, and histogram in the
+    :class:`~repro.obs.registry.MetricsRegistry`, and — when a
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder` is installed (or
+    passed explicitly) — per-phase/per-card latency quantile summaries
+    and a ``snapify_alert_firing`` gauge per firing alert.
+    """
+    from .registry import MetricsRegistry
+
+    if telemetry is None:
+        telemetry = getattr(sim, "snapify_telemetry", None)
+    reg = MetricsRegistry.of(sim)
+    snap = reg.snapshot()
+    # metric name -> (type, [(labels, value)]); insertion order = output order.
+    metrics: Dict[str, Tuple[str, List[Tuple[Dict[str, str], float]]]] = {}
+
+    def add(name: str, mtype: str, labels: Dict[str, str], value: float) -> None:
+        entry = metrics.get(name)
+        if entry is None:
+            entry = metrics[name] = (mtype, [])
+        entry[1].append((labels, value))
+
+    for kind, mtype in (("counters", "counter"), ("gauges", "gauge")):
+        for raw, value in snap[kind].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            base, labels = _split_labels(raw)
+            add(_prom_name(base), mtype, labels, float(value))
+    for raw, hist in sorted(reg.histograms.items()):
+        base, labels = _split_labels(raw)
+        name = _prom_name(base)
+        for le, cum in hist.cumulative_buckets():
+            ble = dict(labels)
+            ble["le"] = _fmt_value(float(le))
+            add(name + "_bucket", "histogram", ble, float(cum))
+        add(name + "_sum", "histogram", dict(labels), float(hist.total))
+        add(name + "_count", "histogram", dict(labels), float(hist.count))
+
+    if telemetry is not None:
+        for (phase, card), digest in sorted(
+            telemetry.phase_latency.items(), key=lambda kv: (kv[0][0], kv[0][1] or "")
+        ):
+            labels = {"phase": phase}
+            if card is not None:
+                labels["card"] = card
+            for q, value in (("0.5", digest.p50), ("0.95", digest.p95),
+                             ("0.99", digest.p99)):
+                if value is None:
+                    continue
+                ql = dict(labels)
+                ql["quantile"] = q
+                add("snapify_phase_latency_seconds", "summary", ql, float(value))
+            add("snapify_phase_latency_seconds_sum", "summary", dict(labels),
+                float(digest.total))
+            add("snapify_phase_latency_seconds_count", "summary", dict(labels),
+                float(digest.count))
+        engine = getattr(telemetry, "engine", None)
+        if engine is not None:
+            for key, alert in sorted(engine.firing.items()):
+                labels = {"rule": alert.rule, "key": key}
+                if alert.card is not None:
+                    labels["card"] = alert.card
+                add("snapify_alert_firing", "gauge", labels, 1.0)
+
+    lines: List[str] = []
+    typed: set = set()
+    for name, (mtype, samples) in metrics.items():
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if mtype in ("histogram", "summary") and name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {base} {mtype}")
+        for labels, value in samples:
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Tuple[Dict[str, str], Dict[str, List[Tuple[Dict[str, str], float]]]]:
+    """Parse a text exposition back into ``(types, samples)``.
+
+    ``types`` maps declared metric family names to their TYPE; ``samples``
+    maps *sample* names (including ``_bucket``/``_sum``/``_count``) to
+    ``(labels, value)`` lists. Raises :class:`ValueError` on malformed
+    lines — this is the round-trip half of the scrapeability check.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: unparseable sample: {line!r}")
+        labels: Dict[str, str] = {}
+        if m.group("labels"):
+            pairs = _LABEL_RE.findall(m.group("labels"))
+            if not pairs:
+                raise ValueError(f"line {lineno}: unparseable labels: {line!r}")
+            labels = dict(pairs)
+        raw = m.group("value")
+        if raw == "+Inf":
+            value = float("inf")
+        elif raw == "-Inf":
+            value = float("-inf")
+        else:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(f"line {lineno}: non-numeric value: {line!r}")
+        samples.setdefault(m.group("name"), []).append((labels, value))
+    return types, samples
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Structural scrapeability check; returns the total sample count.
+
+    Verifies every sample belongs to a TYPE-declared family, and that
+    each histogram label-set has cumulative, non-decreasing buckets with
+    a ``+Inf`` bucket equal to its ``_count``. Raises
+    :class:`ValueError` on the first violation.
+    """
+    types, samples = parse_prometheus_text(text)
+
+    def family(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    total = 0
+    for name, entries in samples.items():
+        total += len(entries)
+        if family(name) not in types:
+            raise ValueError(f"sample {name!r} has no TYPE declaration")
+    for fam, ftype in types.items():
+        if ftype != "histogram":
+            continue
+        buckets = samples.get(fam + "_bucket", [])
+        counts = samples.get(fam + "_count", [])
+        groups: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        for labels, value in buckets:
+            le = labels.get("le")
+            if le is None:
+                raise ValueError(f"{fam}_bucket sample without le label")
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            bound = float("inf") if le == "+Inf" else float(le)
+            groups.setdefault(key, []).append((bound, value))
+        count_by_key = {
+            tuple(sorted(labels.items())): value for labels, value in counts
+        }
+        for key, seq in groups.items():
+            seq.sort()
+            if not seq or seq[-1][0] != float("inf"):
+                raise ValueError(f"{fam}{dict(key)}: missing +Inf bucket")
+            values = [v for _, v in seq]
+            if any(b > a for a, b in zip(values[1:], values)):
+                raise ValueError(f"{fam}{dict(key)}: buckets not cumulative")
+            expected = count_by_key.get(key)
+            if expected is not None and seq[-1][1] != expected:
+                raise ValueError(
+                    f"{fam}{dict(key)}: +Inf bucket {seq[-1][1]} != _count {expected}"
+                )
+    return total

@@ -198,14 +198,15 @@ class OperationTimeline:
     that a span-name query would conflate.
     """
 
-    __slots__ = ("op_id", "kind", "pid", "span_id", "transitions",
+    __slots__ = ("op_id", "kind", "pid", "card", "span_id", "transitions",
                  "final_state", "error")
 
     def __init__(self, op_id: int, kind: str, pid: int, span_id: int,
-                 start: float):
+                 start: float, card: Optional[str] = None):
         self.op_id = op_id
         self.kind = kind
         self.pid = pid
+        self.card = card
         self.span_id = span_id
         self.transitions: List[Tuple[str, float]] = [("REQUESTED", start)]
         self.final_state: Optional[str] = None
@@ -237,7 +238,8 @@ def operation_timelines(tracer: "Tracer") -> List[OperationTimeline]:
     for rec in tracer.find("op.begin"):
         f = rec.fields
         by_id[f["op"]] = OperationTimeline(f["op"], f["kind"], f.get("pid", -1),
-                                           f.get("span", 0), rec.time)
+                                           f.get("span", 0), rec.time,
+                                           card=f.get("card"))
     for rec in tracer.find("op.state"):
         tl = by_id.get(rec.fields["op"])
         if tl is None:
@@ -245,6 +247,8 @@ def operation_timelines(tracer: "Tracer") -> List[OperationTimeline]:
         tl.transitions.append((rec.fields["state"], rec.time))
         if rec.fields.get("pid", -1) >= 0:
             tl.pid = rec.fields["pid"]
+        if tl.card is None and rec.fields.get("card") is not None:
+            tl.card = rec.fields["card"]
     for rec in tracer.find("op.end"):
         tl = by_id.get(rec.fields["op"])
         if tl is None:
@@ -262,16 +266,18 @@ def operation_table(tracer: "Tracer") -> "ResultTable":
     phase_cols = ["pausing", "drained", "capturing", "transferring", "retrying"]
     t = ResultTable(
         "Operations (state-machine phase breakdown)",
-        ["op", "kind", "pid", *phase_cols, "total", "state"],
+        ["op", "kind", "pid", "card", *phase_cols, "total", "state"],
     )
     for tl in timelines:
         phases = tl.phases()
         t.add_row(
-            str(tl.op_id), tl.kind, str(tl.pid),
+            str(tl.op_id), tl.kind, str(tl.pid), tl.card or "-",
             *(fmt_time(phases[p]) if p in phases else "-" for p in phase_cols),
             fmt_time(tl.elapsed) if tl.elapsed is not None else "...",
             tl.final_state or "(in flight)",
         )
         if tl.error:
             t.add_note(f"op {tl.op_id} failed: {tl.error}")
+    if not timelines:
+        t.add_note("no op.* records in this trace (nothing ran an operation)")
     return t

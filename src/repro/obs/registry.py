@@ -22,7 +22,8 @@ This module deliberately imports nothing from :mod:`repro.sim`, so any layer
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -41,17 +42,33 @@ class Counter:
         return f"<Counter {self.name}={self.value}>"
 
 
+#: Default bucket boundaries (seconds): spans sub-ms pauses to 10 s sweeps.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
 class Histogram:
-    """Bounded summary of a sample stream (count, sum, min, max, mean)."""
+    """Bounded summary of a sample stream (count, sum, min, max, buckets).
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Buckets use Prometheus semantics: boundary ``b`` counts samples with
+    ``value <= b``, plus an implicit ``+Inf`` bucket equal to ``count`` —
+    :meth:`cumulative_buckets` renders exactly the shape a
+    ``le``-labelled ``_bucket`` series needs, so the text exposition in
+    :func:`repro.obs.export.prometheus_text` is actually scrapeable.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_bucket_counts")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        # Per-bucket (non-cumulative) counts; index len(buckets) is +Inf.
+        self._bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -60,6 +77,17 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._bucket_counts[bisect_left(self.buckets, value)] += 1
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``(inf, count)``."""
+        out: List[Tuple[float, int]] = []
+        acc = 0
+        for bound, n in zip(self.buckets, self._bucket_counts):
+            acc += n
+            out.append((bound, acc))
+        out.append((float("inf"), self.count))
+        return out
 
     @property
     def mean(self) -> Optional[float]:
@@ -72,6 +100,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            # +Inf rendered as a string: bundles/artifacts must stay strict JSON.
+            "buckets": [["+Inf" if le == float("inf") else le, n]
+                        for le, n in self.cumulative_buckets()],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -111,10 +142,11 @@ class MetricsRegistry:
         """Register (or replace) a pull-based gauge provider."""
         self.gauges[name] = fn
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
         h = self.histograms.get(name)
         if h is None:
-            h = Histogram(name)
+            h = Histogram(name, buckets=buckets or DEFAULT_BUCKETS)
             self.histograms[name] = h
         return h
 

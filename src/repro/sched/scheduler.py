@@ -83,6 +83,28 @@ class SwapScheduler:
                   lambda: len(self.resident_jobs()))
         reg.gauge(f"sched.dev{device}.swapped_jobs",
                   lambda: len(self.swapped_jobs()))
+        # Card-keyed aliases using the fleet's "n<node>.mic<dev>" addressing,
+        # so per-card grouping sees scheduler traffic too (the ".card.<key>."
+        # segment becomes a {card=...} label in the Prometheus export).
+        ck = self.card_key()
+        self.m_card_swap_outs = reg.counter(f"sched.card.{ck}.swap_outs")
+        self.m_card_swap_ins = reg.counter(f"sched.card.{ck}.swap_ins")
+        reg.gauge(f"sched.card.{ck}.resident_jobs",
+                  lambda: len(self.resident_jobs()))
+        reg.gauge(f"sched.card.{ck}.swapped_jobs",
+                  lambda: len(self.swapped_jobs()))
+
+    def card_key(self) -> str:
+        """This scheduler's card in fleet key form ("n0.mic1").
+
+        Uses the explicit :class:`~repro.snapify.fleet.CardRef` when fleet
+        routing is on; standalone schedulers derive it from the server node
+        name + device index so both paths tag records identically."""
+        if self.card is not None:
+            return self.card.key
+        name = getattr(self.server.node, "name", "")
+        digits = "".join(ch for ch in name if ch.isdigit())
+        return f"n{digits or 0}.mic{self.device}"
 
     # -- fleet health ------------------------------------------------------------
     def note_health(self, report: Any) -> None:
@@ -137,7 +159,7 @@ class SwapScheduler:
         brought_back = []
         if not self.card_healthy():
             self.sim.trace.emit("sched.reclaim_skipped", device=self.device,
-                                card=self.card.key if self.card else None)
+                                card=self.card_key())
             return brought_back
         for job in sorted(self.swapped_jobs(), key=lambda j: j.footprint):
             if self._free_after(job.footprint) < 0:
@@ -159,7 +181,7 @@ class SwapScheduler:
             yield from self._swap_out(job, priority=MAINTENANCE)
             victims.append(job)
         self.sim.trace.emit("sched.evacuate", device=self.device,
-                            jobs=len(victims))
+                            card=self.card_key(), jobs=len(victims))
         return victims
 
     def job_finished(self, host_proc: SimProcess):
@@ -209,8 +231,9 @@ class SwapScheduler:
         job.state = "swapped"
         job.swap_count += 1
         self.m_swap_outs.inc()
+        self.m_card_swap_outs.inc()
         self.sim.trace.emit("sched.swap_out", proc=job.host_proc.name,
-                            footprint=job.footprint)
+                            card=self.card_key(), footprint=job.footprint)
         self.swap_events.append(("out", job.host_proc.name, self.sim.now))
 
     def _swap_in(self, job: TenantJob):
@@ -228,8 +251,9 @@ class SwapScheduler:
         self._record(job)
         job.state = "resident"
         self.m_swap_ins.inc()
+        self.m_card_swap_ins.inc()
         self.sim.trace.emit("sched.swap_in", proc=job.host_proc.name,
-                            footprint=job.footprint)
+                            card=self.card_key(), footprint=job.footprint)
         self.swap_events.append(("in", job.host_proc.name, self.sim.now))
 
     def _record(self, job: TenantJob) -> None:

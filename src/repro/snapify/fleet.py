@@ -39,7 +39,7 @@ golden trace proves it).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple,
 )
@@ -260,15 +260,38 @@ class HealthReport:
             return lats[mid]
         return (lats[mid - 1] + lats[mid]) / 2.0
 
-    def stragglers(self, factor: float = 3.0) -> List[CardHealth]:
-        """Healthy cards whose probe took more than ``factor`` times the
-        fleet median — loaded, degraded, or contended cards the scheduler
-        should deprioritize before they become pause-time outliers."""
-        med = self.median_latency()
-        if not med:
+    def stragglers(self, z: float = 3.5, min_spread: float = 0.010) -> List[CardHealth]:
+        """Healthy cards whose probe latency sits more than ``z`` robust
+        sigmas above the fleet median — loaded, degraded, or contended
+        cards the scheduler should deprioritize before they become
+        pause-time outliers.
+
+        Uses the MAD-based z-score from :func:`repro.obs.slo.robust_zscores`
+        (the same detector the telemetry :class:`~repro.obs.slo.StragglerSLO`
+        evaluates live) instead of the old ad-hoc 3x-median threshold,
+        which misfired on tightly-clustered fleets and under-fired on
+        noisy ones.  ``min_spread`` floors the absolute deviation: a card
+        must also sit that many seconds above the median, so microsecond
+        jitter on a tightly-clustered fleet never flags (a tiny MAD would
+        otherwise inflate it into a huge z-score)."""
+        from ..obs.slo import robust_zscores
+
+        lats = {h.card: h.latency for h in self.healthy if h.latency is not None}
+        if not lats:
             return []
+        scores = robust_zscores(lats)
+        median = sorted(lats.values())[len(lats) // 2]
         return [h for h in self.healthy
-                if h.latency is not None and h.latency > factor * med]
+                if h.latency is not None and scores.get(h.card, 0.0) > z
+                and h.latency - median > min_spread]
+
+    def straggler_zscores(self) -> Dict[str, float]:
+        """Per-card robust z-score of probe latency (diagnostic surface)."""
+        from ..obs.slo import robust_zscores
+
+        return robust_zscores({
+            h.card: h.latency for h in self.healthy if h.latency is not None
+        })
 
     def summary(self) -> str:
         bits = [f"health sweep @ {self.when:.3f}s: {len(self.entries)} cards, "
@@ -323,16 +346,27 @@ class FleetManager:
         self.hwm_per_card: Dict[str, int] = {}
         self._probe_ids = itertools.count(1)
         registry = MetricsRegistry.of(self.sim)
+        self._registry = registry
         self.m_submitted = registry.counter(f"{name}.submitted")
         self.m_completed = registry.counter(f"{name}.completed")
         self.m_failed = registry.counter(f"{name}.failed")
         registry.gauge(f"{name}.queue_depth", self.queue_depth)
         registry.gauge(f"{name}.in_flight", lambda: self.in_flight)
+        # Per-priority series ("<name>.prio.<label>.<what>") and per-card
+        # series ("<name>.card.<key>.<what>") use the structured segments
+        # the Prometheus exporter lifts into {priority=...}/{card=...}
+        # labels; per-card instruments are created lazily on first touch so
+        # a 128-card topology only pays for the cards it actually drives.
+        self._prio_submitted = {
+            p: registry.counter(f"{name}.prio.{PRIORITY_NAMES[p]}.submitted")
+            for p in PRIORITIES
+        }
         self._wait_hist = {
             p: registry.histogram(f"{name}.wait.{PRIORITY_NAMES[p]}")
             for p in PRIORITIES
         }
         self._service_hist = registry.histogram(f"{name}.service")
+        self._card_gauges: set = set()
         fleets = getattr(self.sim, self._ATTR, None)
         if fleets is None:
             fleets = []
@@ -372,6 +406,7 @@ class FleetManager:
             self.tickets.append(ticket)
             self._queues[req.priority].append(ticket)
             self.m_submitted.inc()
+            self._prio_submitted[req.priority].inc()
             self.sim.trace.emit(
                 "fleet.submit", key=req.key, kind=req.kind,
                 card=req.card.key if req.card else None,
@@ -498,10 +533,17 @@ class FleetManager:
             self._per_card[key] = held
             if held > self.hwm_per_card.get(key, 0):
                 self.hwm_per_card[key] = held
+            if key not in self._card_gauges:
+                self._card_gauges.add(key)
+                self._registry.gauge(
+                    f"{self.name}.card.{key}.in_flight",
+                    lambda k=key: self._per_card.get(k, 0),
+                )
         ticket.state = RUNNING
         ticket.admitted = self.sim.now
         self._wait_hist[ticket.priority].observe(ticket.queue_wait)
         self.sim.trace.emit("fleet.admit", key=ticket.key, kind=ticket.kind,
+                            card=ticket.card.key if ticket.card else None,
                             in_flight=self.in_flight)
         request = ticket._request
         runner = self._run(ticket)
@@ -553,9 +595,18 @@ class FleetManager:
             else:
                 self._per_card.pop(key, None)
         (self.m_failed if error is not None else self.m_completed).inc()
+        if ticket.card is not None:
+            outcome = "failed" if error is not None else "completed"
+            self._registry.counter(
+                f"{self.name}.card.{ticket.card.key}.{outcome}"
+            ).inc()
         if ticket.service_time is not None:
             self._service_hist.observe(ticket.service_time)
+        telem = getattr(self.sim, "snapify_telemetry", None)
+        if telem is not None:
+            telem.observe_ticket(ticket)
         self.sim.trace.emit("fleet.finish", key=ticket.key, kind=ticket.kind,
+                            card=ticket.card.key if ticket.card else None,
                             state=ticket.state, error=error)
         ticket.done.succeed(ticket)
         self._pump()

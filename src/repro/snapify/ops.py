@@ -111,6 +111,10 @@ class OperationResult:
     channel: Optional[str] = None
     #: Transfer attempts across all channels (1 = clean first try).
     attempts: int = 1
+    #: Card the operation targeted, in fleet key form ("n0.mic1") — the
+    #: same key :class:`repro.snapify.fleet.CardRef` uses, so per-card
+    #: grouping never silently drops samples. None when no card is known.
+    card: Optional[str] = None
 
     @property
     def elapsed(self) -> float:
@@ -120,7 +124,7 @@ class OperationResult:
 class SnapifyOperation:
     """One in-flight Snapify action, addressable by its correlation id."""
 
-    __slots__ = ("op_id", "kind", "manager", "snap", "pid", "span_id",
+    __slots__ = ("op_id", "kind", "manager", "snap", "pid", "card", "span_id",
                  "state", "error", "failed_phase", "terminate", "history",
                  "done", "result", "channel", "attempts", "fleet_key")
 
@@ -131,6 +135,7 @@ class SnapifyOperation:
         self.kind = kind
         self.snap = snap
         self.pid = self._pid_of(snap)
+        self.card = self._card_of(snap)
         self.span_id = span_id
         self.state = REQUESTED
         self.error: Optional[str] = None
@@ -155,6 +160,22 @@ class SnapifyOperation:
             return -1
         return coiproc.offload_proc.pid
 
+    @staticmethod
+    def _card_of(snap: Any) -> Optional[str]:
+        """The fleet card key ("n0.mic1") of the targeted device, if any.
+
+        Derived from the COI engine's Phi rather than passed in, so every
+        path — direct API, use cases, fleet tickets — tags operations with
+        the *same* key :class:`repro.snapify.fleet.CardRef` uses.
+        """
+        coiproc = getattr(snap, "coiproc", None)
+        phi = getattr(getattr(coiproc, "engine", None), "phi", None)
+        if phi is None:
+            return None
+        name = getattr(getattr(phi, "node", None), "name", "")
+        digits = "".join(ch for ch in name if ch.isdigit())
+        return f"n{digits or 0}.mic{getattr(phi, 'index', 0)}"
+
     # -- state inspection ---------------------------------------------------
     @property
     def is_terminal(self) -> bool:
@@ -177,6 +198,7 @@ class SnapifyOperation:
             "op": self.op_id,
             "kind": self.kind,
             "pid": self.pid,
+            "card": self.card,
             "state": self.state,
             "error": self.error,
             "failed_phase": self.failed_phase,
@@ -198,7 +220,7 @@ class SnapifyOperation:
         sim = self.manager.sim
         self.history.append((state, sim.now))
         sim.trace.emit("op.state", op=self.op_id, kind=self.kind,
-                       state=state, pid=self.pid, **fields)
+                       state=state, pid=self.pid, card=self.card, **fields)
 
     def complete(self) -> OperationResult:
         """Close the operation successfully (idempotent once DONE)."""
@@ -247,9 +269,18 @@ class SnapifyOperation:
             sizes=dict(getattr(self.snap, "sizes", None) or {}),
             channel=self.channel,
             attempts=self.attempts,
+            card=self.card,
         )
         sim.trace.emit("op.end", op=self.op_id, kind=self.kind, state=state,
-                       pid=self.pid, error=self.error)
+                       pid=self.pid, card=self.card, error=self.error)
+        # Telemetry hooks: one getattr each when disabled, nothing more.
+        telem = getattr(sim, "snapify_telemetry", None)
+        if telem is not None:
+            telem.observe_operation(self)
+        if state == FAILED:
+            flight = getattr(sim, "snapify_flight_recorder", None)
+            if flight is not None:
+                flight.note_failure(self)
         self.manager.last_result = self.result
         if not self.done.triggered:
             self.done.succeed(self.result)
@@ -320,7 +351,7 @@ class OperationManager:
         if snap is not None:
             snap.op = op
         self.sim.trace.emit("op.begin", op=op.op_id, kind=kind, pid=op.pid,
-                            span=op.span_id)
+                            card=op.card, span=op.span_id)
         return op
 
     def adopt(self, snap: Any, kind: str = "api") -> SnapifyOperation:
@@ -330,6 +361,8 @@ class OperationManager:
         if op is not None and not op.is_terminal:
             if op.pid < 0:
                 op.pid = SnapifyOperation._pid_of(snap)
+            if op.card is None:
+                op.card = SnapifyOperation._card_of(snap)
             return op
         return self.begin(kind, snap)
 

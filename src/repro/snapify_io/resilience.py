@@ -34,7 +34,7 @@ from ..osim.sockets import SocketError
 from ..scif.endpoint import ScifError, ScifNetwork
 from ..sim.channel import ChannelClosed
 from ..sim.errors import SimError
-from .daemon import SnapifyIODaemon, SnapifyIOError, TransferTimeout
+from .daemon import SnapifyIOError, TransferTimeout
 from .library import snapifyio_open
 from .nfs import NFSMount
 from .scp import scp_copy
@@ -213,6 +213,10 @@ class TransferManager:
                     if op is not None:
                         op.channel = channel
                         op.attempts = attempts
+                    # Per-channel delivery series (counters only: plain adds,
+                    # nothing on the hot path when nobody snapshots them).
+                    reg.counter(f"snapifyio.channel.{channel}.files").inc()
+                    reg.counter(f"snapifyio.channel.{channel}.bytes").inc(nbytes)
                     return TransferOutcome(channel=channel, attempts=attempts,
                                            nbytes=nbytes)
         if op is not None:

@@ -1,0 +1,185 @@
+"""CLI coverage for ``repro.obs.cli``: trace edge cases, fleet, top, exports.
+
+The ``snapify top`` dashboard and its ``--export prom``/``--export json``
+payloads are exercised end to end through ``main()``; ``snapify trace`` is
+pinned to its friendly degraded paths (no finished root span, zero op.*
+records) instead of a stack trace; the histogram bucket export round-trips
+through the Prometheus text parser/validator.
+"""
+
+import json
+import types
+
+import pytest
+
+from repro.obs.cli import main as cli_main
+from repro.obs.export import (
+    parse_prometheus_text,
+    prometheus_text,
+    validate_prometheus_text,
+)
+from repro.obs.phases import operation_table
+from repro.obs.registry import MetricsRegistry
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# snapify trace: degraded inputs must report, not crash
+# ---------------------------------------------------------------------------
+
+
+def test_operation_table_with_zero_op_records_renders_note():
+    sim = Simulator(trace=True)
+    table = operation_table(sim.trace)
+    text = table.render()
+    assert "no op.* records" in text
+
+
+def test_trace_command_with_empty_trace_exits_zero(monkeypatch, capsys):
+    """A run that produced no spans and no operations still prints the
+    (empty) operation table and a friendly note per missing breakdown."""
+    import repro.obs.cli as cli
+
+    def fake_run(scenario, iterations=40, sample_interval=0.01):
+        return types.SimpleNamespace(sim=Simulator(trace=True))
+
+    monkeypatch.setattr(cli, "run_traced_scenario", fake_run)
+    rc = cli_main(["trace", "--scenario", "checkpoint"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no phase breakdown for 'snapify.checkpoint'" in out
+    assert "no op.* records" in out
+
+
+def test_trace_command_prints_card_column(capsys):
+    rc = cli_main(["trace", "--scenario", "checkpoint", "--iterations", "10",
+                   "--sample-interval", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "card" in out        # operation-table column
+    assert "n0.mic0" in out     # the op ran on card 0 of node 0
+
+
+# ---------------------------------------------------------------------------
+# Histogram buckets + Prometheus text round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_cumulative_buckets_end_at_inf():
+    sim = Simulator()
+    reg = MetricsRegistry.of(sim)
+    h = reg.histogram("lat", buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+        h.observe(v)
+    buckets = h.cumulative_buckets()
+    les = [le for le, _ in buckets]
+    counts = [n for _, n in buckets]
+    assert les == [0.01, 0.1, 1.0, float("inf")]
+    assert counts == [1, 3, 4, 5]          # cumulative, +Inf == count
+    assert counts == sorted(counts)
+    # summary() must stay strict-JSON (no bare Infinity).
+    text = json.dumps(h.summary())
+    assert "+Inf" in text and "Infinity" not in text
+
+
+def test_prometheus_text_round_trips_and_validates():
+    sim = Simulator()
+    reg = MetricsRegistry.of(sim)
+    reg.counter("fleet.card.n0.mic1.completed").inc(3)
+    reg.counter("fleet.prio.swap.submitted").inc(2)
+    reg.gauge("fleet.card.n0.mic1.in_flight", lambda: 1)
+    h = reg.histogram("fleet.service_time", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+
+    text = prometheus_text(sim)
+    assert validate_prometheus_text(text) > 0
+    types_map, samples = parse_prometheus_text(text)
+
+    # Structured .card.<key>. / .prio.<label>. segments become labels.
+    assert samples["fleet_completed"] == [({"card": "n0.mic1"}, 3.0)]
+    assert samples["fleet_submitted"] == [({"priority": "swap"}, 2.0)]
+    assert samples["fleet_in_flight"] == [({"card": "n0.mic1"}, 1.0)]
+
+    # Histogram exposition: cumulative buckets ending at +Inf == _count.
+    buckets = samples["fleet_service_time_bucket"]
+    by_le = {lbl["le"]: v for lbl, v in buckets}
+    assert by_le == {"0.1": 1.0, "1": 2.0, "+Inf": 2.0}
+    assert samples["fleet_service_time_count"] == [({}, 2.0)]
+    assert types_map["fleet_service_time"] == "histogram"
+
+
+def test_prometheus_validator_rejects_malformed_text():
+    with pytest.raises(ValueError):
+        parse_prometheus_text("not a metric line!!!")
+    # A histogram whose +Inf bucket disagrees with _count must fail.
+    bad = "\n".join([
+        "# TYPE x histogram",
+        'x_bucket{le="1"} 1',
+        'x_bucket{le="+Inf"} 1',
+        "x_sum 1.0",
+        "x_count 2",
+        "",
+    ])
+    with pytest.raises(ValueError, match="count"):
+        validate_prometheus_text(bad)
+
+
+# ---------------------------------------------------------------------------
+# snapify fleet / snapify top through main()
+# ---------------------------------------------------------------------------
+
+
+def test_cli_fleet_metrics_prints_card_counters(capsys):
+    rc = cli_main(["fleet", "--topology", "dev2", "--ops-per-card", "1",
+                   "--metrics"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fleet.card.n0.mic0.completed" in out
+
+
+def test_cli_top_renders_dashboard_and_alert_history(capsys):
+    rc = cli_main(["top", "--topology", "dev2", "--ops-per-card", "1",
+                   "--frames", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "snapify top" in out
+    assert "p99 pause" in out
+    assert "n0.mic0" in out and "n0.mic1" in out
+    assert "no alerts firing" in out
+
+
+def test_cli_top_export_prom_to_file(tmp_path, capsys):
+    out_path = tmp_path / "metrics.prom"
+    rc = cli_main(["top", "--topology", "dev2", "--ops-per-card", "1",
+                   "--frames", "0", "--export", "prom",
+                   "--out", str(out_path)])
+    assert rc == 0
+    assert f"wrote {out_path}" in capsys.readouterr().out
+    text = out_path.read_text()
+    assert validate_prometheus_text(text) > 0
+    assert 'snapify_phase_latency_seconds{' in text
+    assert 'quantile="0.99"' in text
+
+
+def test_cli_top_export_json_with_failure_and_custom_slo(tmp_path, capsys):
+    out_path = tmp_path / "top.json"
+    rc = cli_main(["top", "--topology", "rack8", "--ops-per-card", "2",
+                   "--frames", "0", "--fail-card", "1", "--fail-at", "0.05",
+                   "--slo", "burn_rate < 0.1", "--slo", "pausing p99 < 150ms",
+                   "--export", "json", "--out", str(out_path)])
+    out = capsys.readouterr().out
+    assert rc == 0                     # injected failure is expected
+    assert "alert history:" in out
+    assert "fire" in out and "burn_rate" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["tickets"]["failed"] > 0
+    assert any(e["key"] == "burn_rate" and e["event"] == "fire"
+               for e in doc["alerts"]["history"])
+    assert doc["fleet"]["name"] == "fleet"
+
+
+def test_cli_top_rejects_bad_slo():
+    with pytest.raises(ValueError, match="unparseable"):
+        cli_main(["top", "--topology", "dev2", "--frames", "0",
+                  "--slo", "gibberish"])
