@@ -196,6 +196,85 @@ def wl_remote_checkpoint(n_files=6):
     return next(sim._seq)  # total kernel events scheduled
 
 
+def wl_incremental_checkpoint(n_epochs=5, buffer_mb=64):
+    """Incremental capture economics: a ~5%-dirty delta epoch must cost
+    well under a full capture of the same process.
+
+    Runs one full (classic, Snapify-IO) capture, then an incremental base
+    plus ``n_epochs`` delta captures into the memory tier, dirtying ~5% of
+    every region between epochs. The gate asserts the mean delta epoch's
+    *capture cost* (the post-drain phases: page walk + replication or
+    transfer; the pause phase is a fixed protocol cost identical on both
+    paths) is >= 3x cheaper in simulated seconds than the full capture —
+    the whole point of dirty-page tracking — and that deltas ship a small
+    fraction of the logical image. ops = kernel events, like
+    wl_snapshot_cycle; the simulated costs and speedup ride in ``extras``.
+    """
+    from repro.coi import OffloadBinary, OffloadFunction
+    from repro.hw import MB
+    from repro.snapify import snapify_t
+    from repro.snapify.ops import capture_sequence
+    from repro.snapify_io.memtier import MemoryTier
+    from repro.testbed import XeonPhiServer, offload_process
+
+    sim = Simulator()
+    server = XeonPhiServer(sim=sim)
+    binary = OffloadBinary(
+        "inc.so", 8 * MB, {"step": OffloadFunction("step", duration=0.05)}
+    )
+
+    def setup(s):
+        coiproc, _ = yield from offload_process(
+            server, "inc", binary, buffers=[(buffer_mb * MB, 1)]
+        )
+        return coiproc
+
+    coiproc = server.run(setup(sim))
+    MemoryTier.of(sim).register_server(server)
+
+    def capture_cost(result):
+        # The phases dirty tracking changes: everything after the drain
+        # (page walk + replicate/transfer). Pausing is a fixed protocol
+        # cost identical on both paths.
+        return sum(
+            result.phases.get(p, 0.0)
+            for p in ("capturing", "capturing_delta", "replicating", "transferring")
+        )
+
+    def driver(s):
+        snap_full = snapify_t("/bench/inc_full", coiproc=coiproc)
+        full_cost = capture_cost((yield from capture_sequence(snap_full)))
+        snap = snapify_t("/bench/inc_tier", coiproc=coiproc, incremental=True)
+        base_cost = capture_cost((yield from capture_sequence(snap)))
+        delta_cost, frac = [], []
+        for epoch in range(n_epochs):
+            for region in coiproc.offload_proc.regions.values():
+                span = max(1, region.size // 20)  # ~5% of the region
+                offset = (epoch * 7919 * 4096) % max(1, region.size - span)
+                region.write(offset, span)
+            result = yield from capture_sequence(snap)
+            delta_cost.append(capture_cost(result))
+            frac.append(result.delta_bytes / result.logical_bytes)
+        return full_cost, base_cost, delta_cost, frac
+
+    full_cost, base_cost, delta_cost, frac = server.run(driver(sim))
+    mean_delta = sum(delta_cost) / len(delta_cost)
+    speedup = full_cost / mean_delta
+    assert speedup >= 3.0, (
+        f"5%-dirty delta capture only {speedup:.2f}x cheaper than full "
+        f"({mean_delta:.4f}s vs {full_cost:.4f}s simulated)"
+    )
+    assert max(frac) < 0.5, f"delta shipped {max(frac):.0%} of the logical image"
+    wl_incremental_checkpoint.extras = {
+        "full_capture_sim_s": round(full_cost, 6),
+        "base_capture_sim_s": round(base_cost, 6),
+        "mean_delta_sim_s": round(mean_delta, 6),
+        "delta_speedup_x": round(speedup, 2),
+        "mean_dirty_frac": round(sum(frac) / len(frac), 4),
+    }
+    return next(sim._seq)  # total kernel events scheduled
+
+
 def wl_fleet_sweep(topology="rack32", ops_per_card=4):
     """The fleet control plane at scale: a rack of cards driven through one
     admission-controlled FleetManager (mixed checkpoint/swap/migrate load,
@@ -282,6 +361,7 @@ WORKLOADS = {
     "snapshot_cycle": wl_snapshot_cycle,
     "concurrent_checkpoints": wl_concurrent_checkpoints,
     "remote_checkpoint": wl_remote_checkpoint,
+    "incremental_checkpoint": wl_incremental_checkpoint,
     "fleet_sweep": wl_fleet_sweep,
     "telemetry_overhead": wl_telemetry_overhead,
 }

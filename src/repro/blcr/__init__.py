@@ -1,6 +1,12 @@
 """BLCR: application-transparent single-process checkpoint/restart."""
 
-from .checkpoint import BLCRError, cr_checkpoint, cr_request_checkpoint
+from .checkpoint import (
+    BLCRError,
+    cr_checkpoint,
+    cr_checkpoint_incremental,
+    cr_request_checkpoint,
+    cr_request_checkpoint_incremental,
+)
 from .context import (
     BASE_SMALL_RECORDS,
     BULK_CHUNK,
@@ -9,17 +15,38 @@ from .context import (
     ProcessContext,
     RegionImage,
 )
-from .restart import cr_restart
+from .dirty import PAGE_SIZE, DirtyBitmap, RegionTracker
+from .incremental import (
+    ChainError,
+    DeltaImage,
+    RegionDelta,
+    capture_incremental,
+    reassemble,
+    state_fingerprint,
+)
+from .restart import cr_restart, cr_restore_context
 
 __all__ = [
     "BASE_SMALL_RECORDS",
     "BLCRError",
     "BULK_CHUNK",
+    "ChainError",
+    "DeltaImage",
+    "DirtyBitmap",
+    "PAGE_SIZE",
     "ProcessContext",
     "RECORDS_PER_THREAD",
+    "RegionDelta",
+    "RegionTracker",
     "RegionImage",
     "SMALL_RECORD",
+    "capture_incremental",
     "cr_checkpoint",
+    "cr_checkpoint_incremental",
     "cr_request_checkpoint",
+    "cr_request_checkpoint_incremental",
     "cr_restart",
+    "cr_restore_context",
+    "reassemble",
+    "state_fingerprint",
 ]

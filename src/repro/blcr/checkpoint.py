@@ -10,11 +10,14 @@ daemon pipe, and the process checkpoints itself.
 from __future__ import annotations
 
 
+from typing import Optional
+
 from ..osim.fd import FileDescriptor
 from ..osim.process import SimProcess
 from ..sim.errors import SimError
 from ..sim.events import Event
 from .context import RECORD_CPU_COST, ProcessContext
+from .incremental import capture_incremental
 
 
 def page_walk_cost(os_instance) -> float:
@@ -67,6 +70,56 @@ def cr_request_checkpoint(proc: SimProcess, fd: FileDescriptor) -> Event:
             done.fail(exc)
             return
         done.succeed(ctx)
+
+    proc.spawn_thread(_runner(), name="blcr-checkpoint")
+    return done
+
+
+def cr_checkpoint_incremental(
+    proc: SimProcess,
+    snapshot_id: str,
+    fd: Optional[FileDescriptor] = None,
+):
+    """Sub-generator: incremental capture of ``proc`` for ``snapshot_id``.
+
+    Returns the captured :class:`DeltaImage` (full base on epoch 0, dirty
+    pages after). Kernel-side cost (record assembly + page walks over the
+    *shipped* bytes only) is always charged; descriptor writes happen only
+    when ``fd`` is given — in-memory tier captures pass ``fd=None`` and the
+    image lands in the caller's hands without touching any channel.
+    """
+    if not proc.alive:
+        raise BLCRError(f"cannot checkpoint dead process {proc.name}")
+    image = capture_incremental(proc, snapshot_id)
+    sim = proc.sim
+    per_byte = page_walk_cost(proc.os)
+    for nbytes, record in image.write_plan():
+        yield sim.timeout(RECORD_CPU_COST + per_byte * nbytes)
+        if fd is not None:
+            yield from fd.write(nbytes, record)
+    return image
+
+
+def cr_request_checkpoint_incremental(
+    proc: SimProcess,
+    snapshot_id: str,
+    fd: Optional[FileDescriptor] = None,
+) -> Event:
+    """Asynchronous form of :func:`cr_checkpoint_incremental`.
+
+    The work happens on a thread inside the target process; the returned
+    event succeeds with the captured :class:`DeltaImage` or fails with the
+    checkpoint error — mirroring :func:`cr_request_checkpoint`.
+    """
+    done = Event(proc.sim, name=f"ickpt:{proc.name}")
+
+    def _runner(proc: SimProcess = proc):
+        try:
+            image = yield from cr_checkpoint_incremental(proc, snapshot_id, fd)
+        except SimError as exc:
+            done.fail(exc)
+            return
+        done.succeed(image)
 
     proc.spawn_thread(_runner(), name="blcr-checkpoint")
     return done

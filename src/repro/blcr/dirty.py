@@ -1,0 +1,145 @@
+"""Dirty-page tracking for incremental checkpoints.
+
+A :class:`RegionTracker` rides on a :class:`~repro.osim.process.MemoryRegion`
+and records which 4 KiB pages have been written since the last capture epoch.
+Tracking is strictly opt-in: regions are created without a tracker, the
+write-interception hook is a no-op when no tracker is attached, and nothing
+here touches the simulator — marking a page dirty costs zero simulated time
+and emits zero events, so default runs stay byte-identical on the golden
+trace.
+
+The version map is the correctness backbone for the test battery: every
+write bumps a per-page version counter, deltas carry the versions of the
+pages they ship, and chain reassembly overlays them — so a page the bitmap
+*missed* leaves a stale version behind and the reassembled fingerprint
+diverges from a full capture taken at the same epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: Page granularity of dirty tracking (matches the Phi's 4 KiB base pages).
+PAGE_SIZE = 4096
+
+
+def page_span(offset: int, nbytes: int) -> Tuple[int, int]:
+    """First and last+1 page index touched by a ``(offset, nbytes)`` write."""
+    if offset < 0 or nbytes < 0:
+        raise ValueError("negative offset/length in page_span")
+    if nbytes == 0:
+        return (offset // PAGE_SIZE, offset // PAGE_SIZE)
+    first = offset // PAGE_SIZE
+    last = (offset + nbytes - 1) // PAGE_SIZE
+    return (first, last + 1)
+
+
+class DirtyBitmap:
+    """Set-of-pages bitmap over one region.
+
+    Stored sparsely (a set of page indices): regions are gigabytes but the
+    dirty working set of an iterative app is a few percent, and the sparse
+    form makes ``dirty_bytes`` and iteration exact with no bit twiddling.
+    """
+
+    __slots__ = ("size", "_pages")
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError("negative region size")
+        self.size = size
+        self._pages: Set[int] = set()
+
+    @property
+    def n_pages(self) -> int:
+        return (self.size + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def mark(self, offset: int, nbytes: int) -> None:
+        """Mark every page a ``(offset, nbytes)`` write straddles."""
+        first, stop = page_span(offset, nbytes)
+        if first >= self.n_pages:
+            return
+        stop = min(stop, self.n_pages)
+        for p in range(first, stop):
+            self._pages.add(p)
+
+    def mark_all(self) -> None:
+        self._pages = set(range(self.n_pages))
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def is_dirty(self, page: int) -> bool:
+        return page in self._pages
+
+    @property
+    def dirty_pages(self) -> List[int]:
+        """Sorted dirty page indices (deterministic iteration order)."""
+        return sorted(self._pages)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Exact byte size of the dirty set (last page may be partial)."""
+        if not self._pages:
+            return 0
+        total = len(self._pages) * PAGE_SIZE
+        last_page = self.n_pages - 1
+        if last_page in self._pages:
+            tail = self.size - last_page * PAGE_SIZE
+            total -= PAGE_SIZE - tail
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DirtyBitmap {self.dirty_count}/{self.n_pages} pages>"
+
+
+class RegionTracker:
+    """Per-region dirty bitmap + epoch counter + per-page version map.
+
+    ``epoch`` counts capture generations: 0 until the first capture rolls
+    it. ``page_versions`` maps page index -> monotone write counter (pages
+    never written are implicitly version 0); it is what deltas ship and what
+    the ``delta_chain_reconstructs`` oracle compares against a full capture.
+    """
+
+    __slots__ = ("size", "bitmap", "epoch", "page_versions")
+
+    def __init__(self, size: int):
+        self.size = size
+        self.bitmap = DirtyBitmap(size)
+        self.epoch = 0
+        self.page_versions: Dict[int, int] = {}
+
+    def note_write(self, offset: int, nbytes: int) -> None:
+        """Record a write: mark pages dirty and bump their versions."""
+        first, stop = page_span(offset, nbytes)
+        stop = min(stop, self.bitmap.n_pages)
+        if first >= stop:
+            return
+        self.bitmap.mark(offset, nbytes)
+        for p in range(first, stop):
+            self.page_versions[p] = self.page_versions.get(p, 0) + 1
+
+    def roll_epoch(self) -> int:
+        """Close the current capture epoch: clear the bitmap, bump epoch.
+
+        Returns the *new* epoch number. Called at capture time, after the
+        dirty set has been harvested into a delta.
+        """
+        self.bitmap.clear()
+        self.epoch += 1
+        return self.epoch
+
+    def versions_for(self, pages: Iterable[int]) -> Dict[int, int]:
+        """Version snapshot of the given pages (missing pages are 0)."""
+        return {p: self.page_versions.get(p, 0) for p in pages}
+
+    def all_versions(self) -> Dict[int, int]:
+        return dict(self.page_versions)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RegionTracker epoch={self.epoch} {self.bitmap!r}>"

@@ -81,3 +81,46 @@ def cr_restart(
     if start:
         proc.start()
     return proc
+
+
+def cr_restore_context(
+    os: OSInstance,
+    ctx: ProcessContext,
+    name: Optional[str] = None,
+    start: bool = True,
+):
+    """Sub-generator: rebuild a process from an in-memory context.
+
+    The restore path for memory-tier hits: no descriptor reads (the image is
+    already resident), but fork+exec, region mapping and the kernel page-walk
+    cost over the image bytes are still charged — restoring a big process
+    onto a loaded card can still fail with MemoryExhausted.
+    """
+    sim = os.sim
+    per_byte = page_walk_cost(os)
+    for _ in range(ctx.n_small_records):
+        yield sim.timeout(RECORD_CPU_COST)
+
+    proc = yield from os.spawn_process(
+        name or ctx.name, image_size=0, main_factory=ctx.main_factory, start=False
+    )
+    try:
+        for region in ctx.regions:
+            proc.map_region(
+                region.name, region.size, kind=region.kind,
+                data=copy.deepcopy(region.data), pinned=region.pinned,
+            )
+            remaining = region.size
+            while remaining > 0:
+                chunk = min(remaining, BULK_CHUNK)
+                yield sim.timeout(per_byte * chunk)
+                remaining -= chunk
+    except Exception:
+        proc.terminate(code=1)
+        raise
+
+    proc.store.update(copy.deepcopy(ctx.store))
+    proc.store["_blcr_restored"] = True
+    if start:
+        proc.start()
+    return proc

@@ -31,6 +31,8 @@ def default_faults(scenario: str, seed: int) -> List[Dict[str, Any]]:
     base, _, mode = scenario.partition(":")
     if base == "transfer_fault":
         return _transfer_faults(mode, seed)
+    if base == "incremental":
+        return _incremental_faults(mode, seed)
     if base == "fleet":
         # Every third seed kills one fleet card mid-sweep (card choice and
         # timing walk with the seed); the rest run clean, so the sweep
@@ -85,6 +87,38 @@ def _transfer_faults(mode: str, seed: int) -> List[Dict[str, Any]]:
             {"kind": "link_flap", "device": 0, "at": 0.32 + 0.01 * (seed % 4)},
         ]
     raise ValueError(f"unknown transfer_fault mode {mode!r}")
+
+
+def _incremental_faults(mode: str, seed: int) -> List[Dict[str, Any]]:
+    """Deterministic fault plans for the ``incremental:<mode>`` sweep.
+
+    The scenario runs three capture epochs on card 0 starting ~0.3 s after
+    boot, each replicated to the partner card 1, then (``demotion_race``
+    only) submits a BACKGROUND demotion ticket with a ~3 s retry horizon:
+
+    * ``delta_chain`` — fault-free: the base+delta ledger itself is the
+      artifact under test; the ``delta_chain_reconstructs`` oracle must
+      reassemble it byte-for-byte.
+    * ``partner_loss`` — the partner card dies inside the capture window
+      (sometimes coming back): a replication caught mid-stream leaves a
+      torn copy that must be dropped, never counted as a surviving copy.
+    * ``demotion_race`` — the NFS export flaps across the demotion ticket's
+      retry horizon: the demote must either land a complete chain file
+      after the export returns or fail cleanly with the chain still
+      memory-resident.
+    """
+    if mode == "delta_chain":
+        return []
+    if mode == "partner_loss":
+        fault: Dict[str, Any] = {"device": 1,
+                                 "at": 0.32 + 0.04 * (seed % 8)}
+        if seed % 2 == 1:
+            fault["repair_after"] = 0.3 + 0.1 * (seed % 3)
+        return [fault]
+    if mode == "demotion_race":
+        return [{"kind": "nfs_down", "at": 0.35 + 0.1 * (seed % 6),
+                 "restore_after": 0.5 + 0.5 * (seed % 4)}]
+    raise ValueError(f"unknown incremental mode {mode!r}")
 
 
 @dataclass

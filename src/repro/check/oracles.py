@@ -392,9 +392,10 @@ def fleet_no_starvation(server: "XeonPhiServer") -> List[Violation]:
     for mgr in FleetManager.all_of(server.sim):
         for t in mgr.tickets:
             if t.state not in TICKET_TERMINAL:
+                card = t.card.key if t.card is not None else "-"
                 out.append(Violation(
                     "fleet_no_starvation",
-                    f"{mgr.name}: ticket {t.key!r} ({t.kind}, {t.card.key}) "
+                    f"{mgr.name}: ticket {t.key!r} ({t.kind}, {card}) "
                     f"left {t.state}",
                 ))
     return out
@@ -426,6 +427,92 @@ def fleet_quiescent(server: "XeonPhiServer") -> List[Violation]:
     return out
 
 
+def delta_chain_reconstructs(server: "XeonPhiServer") -> List[Violation]:
+    """Every incremental chain in the memory tier reassembles cleanly.
+
+    The incremental format's core correctness promise: the base image plus
+    the recorded deltas, replayed in epoch order with CRC and fingerprint
+    verification on, must reproduce exactly the state a full capture at the
+    same epoch would have recorded. A chain that fails to reassemble —
+    CRC mismatch, epoch gap, fingerprint divergence — means a capture
+    committed a link it cannot stand behind, no matter which interleaving
+    (partner deaths, demotion races) produced it.
+    """
+    from ..blcr import ChainError, reassemble
+    from ..snapify_io.memtier import MemoryTier
+
+    tier = MemoryTier.peek(server.sim)
+    if tier is None:
+        return []
+    out: List[Violation] = []
+    for path, entry in sorted(tier.chains.items()):
+        if not entry.links:
+            continue
+        try:
+            reassemble(entry.images, verify=True)
+        except ChainError as exc:
+            out.append(Violation(
+                "delta_chain_reconstructs",
+                f"{path}: {len(entry.links)}-link chain does not "
+                f"reassemble: {exc}",
+            ))
+    return out
+
+
+def partner_copy_consistent(server: "XeonPhiServer") -> List[Violation]:
+    """The tier's replication ledger never counts a torn partner image.
+
+    Two obligations, audited per chain link and per card:
+
+    * a link marked ``replicated`` whose partner copies are all torn has
+      committed a half-streamed image as its surviving replica — the exact
+      corruption the mid-copy health checks exist to prevent (losing an
+      intact replica later to a card *death* is legal; tearing one during
+      the stream and still counting it is not);
+    * each registered card's ``snap_tier`` memory category must equal the
+      bytes of the intact copies the ledger homes there — drift means a
+      torn/released copy kept its allocation or an intact one was freed.
+    """
+    from ..snapify_io.memtier import TIER_CATEGORY, MemoryTier
+
+    tier = MemoryTier.peek(server.sim)
+    if tier is None:
+        return []
+    out: List[Violation] = []
+    ledger_bytes: dict = {}
+    for path, entry in sorted(tier.chains.items()):
+        for link in entry.links:
+            for copy in link.copies:
+                if copy.intact:
+                    ledger_bytes[copy.home] = (
+                        ledger_bytes.get(copy.home, 0) + copy.nbytes
+                    )
+            partners = [c for c in link.copies if c.role == "partner"]
+            torn = [c for c in partners if c.torn]
+            if link.replicated and torn and not any(
+                c.intact or c.lost or c.released for c in partners
+            ):
+                out.append(Violation(
+                    "partner_copy_consistent",
+                    f"{path}: epoch {link.image.epoch} marked replicated "
+                    f"but its only partner image(s) are torn "
+                    f"({[c.home for c in torn]})",
+                ))
+    for key in tier._order:
+        mem = tier._mem_of(key)
+        if mem is None:
+            continue
+        held = mem.by_category.get(TIER_CATEGORY, 0)
+        expected = ledger_bytes.get(key, 0)
+        if held != expected:
+            out.append(Violation(
+                "partner_copy_consistent",
+                f"{key}: snap_tier accounts {held} bytes but the ledger's "
+                f"intact copies there total {expected}",
+            ))
+    return out
+
+
 #: All oracles, in check order. ``check_all`` runs every one of these.
 ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     memory_accounting,
@@ -442,6 +529,8 @@ ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     fleet_admission_caps,
     fleet_no_starvation,
     fleet_quiescent,
+    delta_chain_reconstructs,
+    partner_copy_consistent,
     no_crashed_threads,
 ]
 

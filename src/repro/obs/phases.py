@@ -263,7 +263,8 @@ def operation_table(tracer: "Tracer") -> "ResultTable":
     """All operations of a traced run as one per-phase table."""
     ResultTable, fmt_time = _tables()
     timelines = operation_timelines(tracer)
-    phase_cols = ["pausing", "drained", "capturing", "transferring", "retrying"]
+    phase_cols = ["pausing", "drained", "capturing", "capturing_delta",
+                  "replicating", "transferring", "retrying"]
     t = ResultTable(
         "Operations (state-machine phase breakdown)",
         ["op", "kind", "pid", "card", *phase_cols, "total", "state"],

@@ -44,7 +44,7 @@ class MemoryRegion:
     applications (a motivation the paper gives for process swapping).
     """
 
-    __slots__ = ("name", "size", "kind", "data", "pinned")
+    __slots__ = ("name", "size", "kind", "data", "pinned", "tracker")
 
     KINDS = ("text", "heap", "stack", "localstore", "coi_buffer")
 
@@ -58,6 +58,26 @@ class MemoryRegion:
         self.kind = kind
         self.data = data
         self.pinned = pinned
+        #: Optional dirty-page tracker (repro.blcr.dirty.RegionTracker).
+        #: None unless incremental checkpointing opted the region in.
+        self.tracker = None
+
+    def enable_tracking(self) -> None:
+        """Attach a dirty-page tracker (idempotent; zero simulated cost)."""
+        if self.tracker is None:
+            from ..blcr.dirty import RegionTracker
+
+            self.tracker = RegionTracker(self.size)
+
+    def write(self, offset: int, nbytes: int) -> None:
+        """Note an application write for dirty tracking.
+
+        A pure bookkeeping hook: no simulated time, no events. A no-op when
+        tracking is off, so instrumented programs behave identically on the
+        golden trace.
+        """
+        if self.tracker is not None:
+            self.tracker.note_write(offset, nbytes)
 
     def clone(self) -> "MemoryRegion":
         return MemoryRegion(self.name, self.size, self.kind, copy.deepcopy(self.data), self.pinned)
@@ -92,6 +112,8 @@ class SimProcess:
         self.open_fds: List[FileDescriptor] = []
         self.main_factory = main_factory
         self.main_thread: Optional[Thread] = None
+        #: When True, newly mapped regions get dirty-page trackers attached.
+        self.dirty_tracking = False
 
     # -- threads ----------------------------------------------------------
     def spawn_thread(self, gen: SimGen, name: str = "", daemon: bool = False) -> Thread:
@@ -114,8 +136,16 @@ class SimProcess:
             raise ProcessError(f"{self.name}: region {name!r} already mapped")
         self.os.memory.allocate(size, "process")
         region = MemoryRegion(name, size, kind, data, pinned)
+        if self.dirty_tracking:
+            region.enable_tracking()
         self.regions[name] = region
         return region
+
+    def enable_dirty_tracking(self) -> None:
+        """Turn on dirty-page tracking for current and future regions."""
+        self.dirty_tracking = True
+        for region in self.regions.values():
+            region.enable_tracking()
 
     def unmap_region(self, name: str) -> None:
         region = self.regions.pop(name, None)

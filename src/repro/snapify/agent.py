@@ -96,8 +96,13 @@ def agent_loop(proc: SimProcess, pipe_end):
                                       "op_id": op_id})
             sp.finish(localstore_bytes=ls_bytes)
         elif op == "capture":
-            sp = sim.trace.span("agent.capture", parent=parent, proc=proc.name)
-            yield from _capture_with_retry(proc, pipe_end, msg, op_id, sp)
+            if msg.get("incremental"):
+                sp = sim.trace.span("agent.capture_delta", parent=parent,
+                                    proc=proc.name)
+                yield from _capture_incremental(proc, pipe_end, msg, op_id, sp)
+            else:
+                sp = sim.trace.span("agent.capture", parent=parent, proc=proc.name)
+                yield from _capture_with_retry(proc, pipe_end, msg, op_id, sp)
         elif op == "resume":
             sp = sim.trace.span("agent.resume", parent=parent, proc=proc.name)
             runtime.release()
@@ -160,6 +165,61 @@ def _capture_with_retry(proc: SimProcess, pipe_end, msg, op_id: int, sp):
          "reason": f"capture stream failed after {attempts} attempts: {last_exc}"}
     )
     sp.finish(error=str(last_exc))
+
+
+def _capture_incremental(proc: SimProcess, pipe_end, msg, op_id: int, sp):
+    """Sub-generator: dirty-page capture into the in-memory partner tier.
+
+    Epoch 0 ships the full base image, later epochs only the pages written
+    since the previous capture (the dirty bitmap decides). The image never
+    touches a channel here: it is committed to the local card's memory tier
+    copy, then replicated to a partner card — NFS demotion is somebody
+    else's background ticket. Failures (dead process, tier full) report
+    ``SNAPIFY_FAILED`` over the pipe like any other capture failure.
+    """
+    from ..blcr import cr_request_checkpoint_incremental
+    from ..hw.memory import MemoryExhausted
+    from ..sim.errors import SimError
+    from ..snapify_io.memtier import MemoryTier, TierError
+
+    sim = proc.sim
+    path = msg["path"]
+    try:
+        done = cr_request_checkpoint_incremental(proc, path, fd=None)
+        image = yield done
+    except SimError as exc:
+        yield from pipe_end.send(
+            {"t": c.SNAPIFY_FAILED, "op_id": op_id,
+             "reason": f"incremental capture failed: {exc}"}
+        )
+        sp.finish(error=str(exc))
+        return
+    # Delta harvested and sealed: tell the host before the (potentially
+    # slow) partner replication so the operation can show REPLICATING.
+    yield from pipe_end.send(
+        {"t": c.CAPTURE_REPLICATING, "op_id": op_id, "epoch": image.epoch,
+         "delta_bytes": image.delta_bytes}
+    )
+    tier = MemoryTier.of(sim)
+    try:
+        placement = yield from tier.store(proc.os, path, image,
+                                          span=sp.span_id)
+    except (TierError, MemoryExhausted) as exc:
+        yield from pipe_end.send(
+            {"t": c.SNAPIFY_FAILED, "op_id": op_id,
+             "reason": f"memory tier store failed: {exc}"}
+        )
+        sp.finish(error=str(exc))
+        return
+    yield from pipe_end.send(
+        {"t": c.CAPTURE_COMPLETE, "image_bytes": image.logical_bytes,
+         "delta_bytes": image.delta_bytes, "epoch": image.epoch,
+         "incremental": True, "tier": "memtier",
+         "partner": placement.get("partner"), "op_id": op_id,
+         "attempts": 1, "channel": "memtier"}
+    )
+    sp.finish(epoch=image.epoch, delta_bytes=image.delta_bytes,
+              logical_bytes=image.logical_bytes)
 
 
 def save_local_store(proc: SimProcess, runtime: CardRuntime, snapshot_path: str,

@@ -38,8 +38,10 @@ from . import constants as c
 from .monitor import SnapifyError
 from .ops import (
     CAPTURING,
+    CAPTURING_DELTA,
     DRAINED,
     PAUSING,
+    REPLICATING,
     REQUESTED,
     TRANSFERRING,
     OperationManager,
@@ -69,6 +71,11 @@ class snapify_t:
     #: with no live operation auto-issues one. Its correlation id rides in
     #: every SERVICE message this handle sends.
     op: Optional[Any] = None
+    #: Incremental mode: captures ship only dirty pages since the previous
+    #: epoch and land in the in-memory partner tier instead of streaming the
+    #: full image over Snapify-IO. Off by default — the classic full-capture
+    #: path (and its trace) is untouched unless a caller opts in.
+    incremental: bool = False
     #: Instrumentation for the benchmark harness.
     timings: Dict[str, float] = field(default_factory=dict)
     sizes: Dict[str, int] = field(default_factory=dict)
@@ -164,25 +171,40 @@ def snapify_capture(snap: snapify_t, terminate: bool):
     sp = sim.trace.span("snapify.capture", parent=snap.span,
                         pid=coiproc.offload_proc.pid, terminate=terminate,
                         proc=coiproc.host_proc.name)
-    op.transition(CAPTURING, terminate=terminate)
-    yield from coiproc.daemon_ep.send(
-        {"type": c.SERVICE, "op": c.OP_CAPTURE, "pid": coiproc.offload_proc.pid,
-         "path": snap.snapshot_path, "terminate": terminate,
-         "span": sp.span_id, "op_id": op.op_id}
-    )
+    if snap.incremental:
+        op.incremental = True
+        op.transition(CAPTURING_DELTA, terminate=terminate)
+    else:
+        op.transition(CAPTURING, terminate=terminate)
+    msg = {"type": c.SERVICE, "op": c.OP_CAPTURE, "pid": coiproc.offload_proc.pid,
+           "path": snap.snapshot_path, "terminate": terminate,
+           "span": sp.span_id, "op_id": op.op_id}
+    if snap.incremental:
+        # Key present only when set: default captures send the exact message
+        # they always did (golden-trace byte-identity).
+        msg["incremental"] = True
+    yield from coiproc.daemon_ep.send(msg)
 
     def _completion_waiter():
         # Correlated receive: with several captures in flight on this
         # endpoint, each waiter sees only the completion carrying its own
         # operation id (the old bare recv() stole whichever came first).
-        try:
-            done = yield from mgr.recv_reply(op, coiproc.daemon_ep)
-        except Exception as exc:  # daemon/card died under the capture
-            snap.error = f"lost the COI daemon during capture: {exc}"
-            op.fail(snap.error)
-            sp.finish(error="daemon-lost")
-            snap.sem.post()
-            return
+        while True:
+            try:
+                done = yield from mgr.recv_reply(op, coiproc.daemon_ep)
+            except Exception as exc:  # daemon/card died under the capture
+                snap.error = f"lost the COI daemon during capture: {exc}"
+                op.fail(snap.error)
+                sp.finish(error="daemon-lost")
+                snap.sem.post()
+                return
+            if done.get("t") != c.CAPTURE_REPLICATING:
+                break
+            # Intermediate status from an incremental capture: the delta is
+            # committed locally; the partner replica is streaming.
+            if op.state == CAPTURING_DELTA:
+                op.transition(REPLICATING, epoch=done.get("epoch"),
+                              bytes=done.get("delta_bytes"))
         if done.get("t") != c.CAPTURE_COMPLETE:
             # Surface the failure through the semaphore: snapify_wait raises.
             snap.error = done.get("reason", repr(done))
@@ -196,7 +218,18 @@ def snapify_capture(snap: snapify_t, terminate: bool):
         # snapshot and how many attempts the stream took.
         op.channel = done.get("channel", op.channel or "snapifyio")
         op.attempts = done.get("attempts", op.attempts)
-        op.transition(TRANSFERRING, bytes=snap.sizes["offload_snapshot"])
+        if done.get("incremental"):
+            # image_bytes above is the LOGICAL image size; what actually
+            # moved is the delta. Record both — phase/throughput math and
+            # `snapify top` must not misattribute one as the other.
+            op.incremental = True
+            op.delta_bytes = done.get("delta_bytes", 0)
+            op.logical_bytes = done.get("image_bytes", 0)
+            op.tier = done.get("tier")
+            snap.sizes["offload_delta"] = op.delta_bytes
+        shipped = done.get("delta_bytes") if done.get("incremental") \
+            else snap.sizes["offload_snapshot"]
+        op.transition(TRANSFERRING, bytes=shipped)
         sp.finish(bytes=snap.sizes["offload_snapshot"])
         sim.trace.emit("snapify.capture", pid=coiproc.offload_proc.pid,
                        terminate=terminate, bytes=snap.sizes["offload_snapshot"])

@@ -12,6 +12,9 @@ LIBS_SOURCE_PATH = "/opt/mpss/coi_runtime_libs"
 CONTEXT_FILE = "context"
 LOCALSTORE_FILE = "localstore"
 LIBS_FILE = "libs"
+#: Demoted incremental chain (base + deltas), written by the memory tier's
+#: background demotion ticket — never on the capture critical path.
+CHAIN_FILE = "chain"
 
 #: Daemon-connection request type for all Snapify operations.
 SERVICE = "snapify.service"
@@ -29,6 +32,10 @@ SNAPIFY_FAILED = "snapify.failed"
 PAUSE_COMPLETE = "snapify.pause-complete"
 CAPTURE_COMPLETE = "snapify.capture-complete"
 RESUME_ACK = "snapify.resume-ack"
+#: Intermediate capture status: the delta image is captured and committed
+#: locally; the partner replica is still streaming. Relayed to the host so
+#: the operation can surface a REPLICATING sub-state.
+CAPTURE_REPLICATING = "snapify.capture-replicating"
 
 #: Monitor thread polling interval (the daemon's dedicated Snapify monitor
 #: thread "keeps polling the pipes to the offload processes").
@@ -45,3 +52,7 @@ def localstore_path(snapshot_path: str) -> str:
 
 def libs_path(snapshot_path: str) -> str:
     return f"{snapshot_path}/{LIBS_FILE}"
+
+
+def chain_path(snapshot_path: str) -> str:
+    return f"{snapshot_path}/{CHAIN_FILE}"

@@ -478,6 +478,67 @@ class FleetManager:
         return self.submit(key, "restore", work, card=card, priority=priority,
                            proc=host_proc)
 
+    # -- the memory tier ------------------------------------------------------
+    def memory_tier(self):
+        """The fleet's in-memory snapshot tier, with every card registered
+        under its :class:`CardRef` key (created on first use)."""
+        from ..snapify_io.memtier import MemoryTier
+
+        tier = MemoryTier.of(self.sim)
+        if self.fleet is not None:
+            tier.register_fleet(self.fleet)
+        return tier
+
+    def partner_for(self, card: CardRef) -> Optional[str]:
+        """Round-robin replication partner for ``card`` (healthy cards
+        only); None when the fleet has no other healthy card."""
+        return self.memory_tier().choose_partner(card.key)
+
+    def submit_demotion(self, key: str, path: str, host_os: Any, *,
+                        card: Optional[CardRef] = None, release: bool = False,
+                        priority: int = BACKGROUND) -> FleetTicket:
+        """Demote an incremental chain to the host NFS export as a
+        BACKGROUND ticket — durability insurance off the capture critical
+        path. The work retries over transient NFS outages; an export that
+        stays down fails the ticket and the chain remains memory-resident."""
+        tier = self.memory_tier()
+
+        def work():
+            total = yield from tier.demote_with_retry(path, host_os,
+                                                      release=release)
+            return total
+
+        return self.submit(key, "demote", work, card=card, priority=priority)
+
+    def submit_rehome(self, bad_card: CardRef, *,
+                      priority: int = MAINTENANCE) -> FleetTicket:
+        """Move every tier copy off a flagged card (maintenance priority:
+        this is the evacuation side of a health sweep)."""
+        tier = self.memory_tier()
+
+        def work():
+            moved = yield from tier.rehome_from(bad_card.key)
+            return moved
+
+        return self.submit(f"rehome:{bad_card.key}", "rehome", work,
+                           card=None, priority=priority)
+
+    def rehome_after_sweep(self, report: "HealthReport") -> List[FleetTicket]:
+        """Submit a re-home ticket for every card a sweep flagged (failed
+        or straggling). Returns the tickets; no-op when the tier is unused."""
+        from ..snapify_io.memtier import MemoryTier
+
+        if MemoryTier.peek(self.sim) is None:
+            return []
+        flagged = {h.card for h in report.failed}
+        flagged.update(h.card for h in report.stragglers())
+        tickets = []
+        for key in sorted(flagged):
+            digits, _, dev = key.partition(".mic")
+            card = CardRef(node=int(digits.lstrip("n") or 0), device=int(dev or 0))
+            tickets.append(self.submit_rehome(card))
+        return tickets
+
     # -- collection -----------------------------------------------------------
     def collect(self, tickets: Sequence[FleetTicket], *,
                 raise_on_error: bool = False):

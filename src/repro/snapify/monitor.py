@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict
 
-from ..blcr import cr_restart
+from ..blcr import DeltaImage, cr_restart, cr_restore_context, reassemble
 from ..coi.buffer import localstore_path as buffer_localstore_path
 from ..coi.daemon import COIDaemon, DaemonEntry
 from ..obs.registry import MetricsRegistry
@@ -248,9 +248,13 @@ def _handle_capture(daemon, svc: SnapifyService, ep, msg):
     req.span_id = msg.get("span", 0)
     svc.active[key] = req
     svc.ensure_monitor()
-    yield from entry.pipe.send({"op": "capture", "path": msg["path"],
-                                "span": msg.get("span", 0),
-                                "op_id": key[1]})
+    fwd = {"op": "capture", "path": msg["path"],
+           "span": msg.get("span", 0),
+           "op_id": key[1]}
+    if msg.get("incremental"):
+        # Present only when set: the default pipe message stays identical.
+        fwd["incremental"] = True
+    yield from entry.pipe.send(fwd)
 
 
 def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
@@ -310,13 +314,33 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
                                        payload=info["payload"])
     sub.finish()
 
-    # 3. Restart the process image straight off the host file system.
+    # 3. Restart the process image. Incremental snapshots live in the
+    #    memory tier (local or partner copy; NFS chain file once demoted):
+    #    reassemble base + deltas and restore the context in place. Classic
+    #    snapshots restart straight off the host file system, untouched.
+    from ..snapify_io.memtier import MemoryTier
+
     sub = daemon.sim.trace.span("daemon.restore.cr_restart", parent=sp)
     port = next(daemon._ports)
-    ctx_fd = yield from snapifyio_open(phi_os, 0, c.context_path(path), "r",
-                                       span=sub.span_id)
-    proc = yield from cr_restart(phi_os, ctx_fd, start=False)
-    ctx_fd.close()
+    tier = MemoryTier.peek(daemon.sim)
+    chain = tier.lookup(path) if tier is not None else None
+    if chain is not None:
+        images, _sources = yield from tier.fetch(path, phi_os)
+        if images is None:
+            # Every memory copy is gone but the chain was demoted: stream
+            # the chain file back from the host through Snapify-IO.
+            chain_fd = yield from snapifyio_open(phi_os, 0, c.chain_path(path),
+                                                 "r", span=sub.span_id)
+            records = yield from _drain_read(chain_fd)
+            chain_fd.close()
+            images = [r for r in records if isinstance(r, DeltaImage)]
+        ctx = reassemble(images)
+        proc = yield from cr_restore_context(phi_os, ctx, start=False)
+    else:
+        ctx_fd = yield from snapifyio_open(phi_os, 0, c.context_path(path), "r",
+                                           span=sub.span_id)
+        proc = yield from cr_restart(phi_os, ctx_fd, start=False)
+        ctx_fd.close()
     sub.finish()
     proc.store["_listen_port"] = port
 

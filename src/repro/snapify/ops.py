@@ -60,13 +60,18 @@ REQUESTED = "REQUESTED"
 PAUSING = "PAUSING"
 DRAINED = "DRAINED"
 CAPTURING = "CAPTURING"
+#: Incremental captures split CAPTURING into two sub-states: the dirty-page
+#: harvest (CAPTURING_DELTA) and the partner replication of the resulting
+#: delta image through the in-memory tier (REPLICATING).
+CAPTURING_DELTA = "CAPTURING_DELTA"
+REPLICATING = "REPLICATING"
 TRANSFERRING = "TRANSFERRING"
 RETRYING = "RETRYING"
 DONE = "DONE"
 FAILED = "FAILED"
 
-STATES = (REQUESTED, PAUSING, DRAINED, CAPTURING, TRANSFERRING, RETRYING,
-          DONE, FAILED)
+STATES = (REQUESTED, PAUSING, DRAINED, CAPTURING, CAPTURING_DELTA,
+          REPLICATING, TRANSFERRING, RETRYING, DONE, FAILED)
 TERMINAL = (DONE, FAILED)
 
 #: Legal *working* transitions; DONE and FAILED are reachable from any
@@ -78,8 +83,13 @@ TERMINAL = (DONE, FAILED)
 _NEXT = {
     REQUESTED: (PAUSING, TRANSFERRING),
     PAUSING: (DRAINED,),
-    DRAINED: (CAPTURING,),
+    DRAINED: (CAPTURING, CAPTURING_DELTA),
     CAPTURING: (TRANSFERRING,),
+    # Incremental path: delta harvest, then partner replication, then the
+    # (cheap) finish. A delta capture with no live partner candidate skips
+    # straight to TRANSFERRING.
+    CAPTURING_DELTA: (REPLICATING, TRANSFERRING),
+    REPLICATING: (TRANSFERRING,),
     TRANSFERRING: (RETRYING,),
     RETRYING: (TRANSFERRING,),
     DONE: (),
@@ -115,6 +125,24 @@ class OperationResult:
     #: same key :class:`repro.snapify.fleet.CardRef` uses, so per-card
     #: grouping never silently drops samples. None when no card is known.
     card: Optional[str] = None
+    #: Incremental captures report BOTH sizes: ``delta_bytes`` is what was
+    #: actually shipped (dirty pages + metadata), ``logical_bytes`` the full
+    #: image the delta logically represents. Full captures leave delta_bytes
+    #: None and phase/throughput math keyed on image size must use
+    #: ``shipped_bytes`` — never assume the full image moved.
+    delta_bytes: Optional[int] = None
+    logical_bytes: Optional[int] = None
+    incremental: bool = False
+    #: Storage tier the snapshot landed in ("memtier" when the in-memory
+    #: partner tier holds it; None for classic channel transfers).
+    tier: Optional[str] = None
+
+    @property
+    def shipped_bytes(self) -> Optional[int]:
+        """Bytes that actually crossed a channel/tier for this snapshot."""
+        if self.delta_bytes is not None:
+            return self.delta_bytes
+        return self.sizes.get("offload_snapshot")
 
     @property
     def elapsed(self) -> float:
@@ -126,7 +154,8 @@ class SnapifyOperation:
 
     __slots__ = ("op_id", "kind", "manager", "snap", "pid", "card", "span_id",
                  "state", "error", "failed_phase", "terminate", "history",
-                 "done", "result", "channel", "attempts", "fleet_key")
+                 "done", "result", "channel", "attempts", "fleet_key",
+                 "delta_bytes", "logical_bytes", "incremental", "tier")
 
     def __init__(self, manager: "OperationManager", op_id: int, kind: str,
                  snap: Any = None, span_id: int = 0):
@@ -152,6 +181,11 @@ class SnapifyOperation:
         #: Fleet attribution: the FleetManager ticket key that issued this
         #: operation (None for directly-driven operations).
         self.fleet_key: Optional[str] = None
+        #: Incremental-capture provenance (set by the completion waiter).
+        self.delta_bytes: Optional[int] = None
+        self.logical_bytes: Optional[int] = None
+        self.incremental: bool = False
+        self.tier: Optional[str] = None
 
     @staticmethod
     def _pid_of(snap: Any) -> int:
@@ -270,6 +304,10 @@ class SnapifyOperation:
             channel=self.channel,
             attempts=self.attempts,
             card=self.card,
+            delta_bytes=self.delta_bytes,
+            logical_bytes=self.logical_bytes,
+            incremental=self.incremental,
+            tier=self.tier,
         )
         sim.trace.emit("op.end", op=self.op_id, kind=self.kind, state=state,
                        pid=self.pid, card=self.card, error=self.error)

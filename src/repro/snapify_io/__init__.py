@@ -11,6 +11,15 @@ from .daemon import (
     resume_digest,
 )
 from .library import SnapifyIOFile, snapifyio_open
+from .memtier import (
+    TIER_CATEGORY,
+    ChainEntry,
+    MemoryTier,
+    TierCopy,
+    TierError,
+    TierLink,
+    chain_path,
+)
 from .nfs import NFSKernelBufferedFD, NFSMount, NFSUserBufferedFD
 from .resilience import (
     ChannelUnavailable,
@@ -24,8 +33,10 @@ from .scp import scp_copy
 __all__ = [
     "ABORT_MARKER",
     "COMMITTED",
+    "ChainEntry",
     "ChannelUnavailable",
     "EOF_MARKER",
+    "MemoryTier",
     "NFSKernelBufferedFD",
     "NFSMount",
     "NFSUserBufferedFD",
@@ -34,10 +45,15 @@ __all__ = [
     "SnapifyIODaemon",
     "SnapifyIOError",
     "SnapifyIOFile",
+    "TIER_CATEGORY",
+    "TierCopy",
+    "TierError",
+    "TierLink",
     "TransferFailed",
     "TransferManager",
     "TransferOutcome",
     "TransferTimeout",
+    "chain_path",
     "resume_digest",
     "scp_copy",
     "snapifyio_open",

@@ -1,0 +1,151 @@
+"""Property-based tests of dirty-page tracking.
+
+The shadow-copy oracle: apply the same random write trace to a real byte
+buffer and to the tracker, then diff the buffer page-by-page — the pages
+that actually changed must be exactly the pages the bitmap claims. Plus
+directed cases for the edges property search rarely lands on: writes that
+straddle page boundaries by one byte, a partial tail page, zero-length
+writes, and version continuity across epoch rollovers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blcr.dirty import PAGE_SIZE, DirtyBitmap, RegionTracker, page_span
+from repro.osim.process import MemoryRegion
+
+prop = settings(max_examples=60, deadline=None)
+
+REGION_SIZE = 40 * PAGE_SIZE + 1234  # deliberately a partial tail page
+
+writes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=REGION_SIZE + 2 * PAGE_SIZE),
+        st.integers(min_value=0, max_value=6 * PAGE_SIZE),
+    ),
+    max_size=30,
+)
+
+
+def shadow_dirty_pages(trace, size):
+    """Ground truth: stamp a real buffer, diff it page-by-page."""
+    buf = bytearray(size)
+    for stamp, (offset, nbytes) in enumerate(trace, start=1):
+        lo = min(offset, size)
+        hi = min(offset + nbytes, size)
+        for i in range(lo, hi):
+            buf[i] = 1 + (stamp % 250)
+    n_pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+    return sorted(
+        p for p in range(n_pages)
+        if any(buf[p * PAGE_SIZE:(p + 1) * PAGE_SIZE])
+    )
+
+
+@prop
+@given(trace=writes)
+def test_random_writes_match_shadow_copy_diff(trace):
+    tracker = RegionTracker(REGION_SIZE)
+    for offset, nbytes in trace:
+        tracker.note_write(offset, nbytes)
+    assert tracker.bitmap.dirty_pages == shadow_dirty_pages(trace, REGION_SIZE)
+
+
+@prop
+@given(trace=writes)
+def test_versions_bump_once_per_touching_write(trace):
+    tracker = RegionTracker(REGION_SIZE)
+    expected = {}
+    n_pages = tracker.bitmap.n_pages
+    for offset, nbytes in trace:
+        tracker.note_write(offset, nbytes)
+        first, stop = page_span(offset, nbytes)
+        for p in range(first, min(stop, n_pages)):
+            expected[p] = expected.get(p, 0) + 1
+    assert tracker.all_versions() == expected
+    # versions_for fills untouched pages with version 0
+    probe = list(range(n_pages))
+    vmap = tracker.versions_for(probe)
+    assert all(vmap[p] == expected.get(p, 0) for p in probe)
+
+
+@prop
+@given(trace=writes, cut=st.integers(min_value=0, max_value=30))
+def test_epoch_rollover_clears_bitmap_keeps_versions(trace, cut):
+    """A capture (roll_epoch) forgets dirtiness, never write history."""
+    tracker = RegionTracker(REGION_SIZE)
+    before, after = trace[:cut], trace[cut:]
+    for offset, nbytes in before:
+        tracker.note_write(offset, nbytes)
+    versions_at_capture = tracker.all_versions()
+    assert tracker.roll_epoch() == 1
+    assert tracker.bitmap.dirty_pages == []
+    assert tracker.all_versions() == versions_at_capture
+    for offset, nbytes in after:
+        tracker.note_write(offset, nbytes)
+    # The new epoch's dirty set is exactly the post-capture trace's pages.
+    assert tracker.bitmap.dirty_pages == shadow_dirty_pages(
+        [(o, n) for o, n in after], REGION_SIZE
+    )
+    # And versions are cumulative across the rollover.
+    merged = dict(versions_at_capture)
+    n_pages = tracker.bitmap.n_pages
+    for offset, nbytes in after:
+        first, stop = page_span(offset, nbytes)
+        for p in range(first, min(stop, n_pages)):
+            merged[p] = merged.get(p, 0) + 1
+    assert tracker.all_versions() == merged
+
+
+def test_page_boundary_straddles():
+    bm = DirtyBitmap(8 * PAGE_SIZE)
+    bm.mark(PAGE_SIZE - 1, 2)  # one byte each side of the boundary
+    assert bm.dirty_pages == [0, 1]
+    bm.clear()
+    bm.mark(PAGE_SIZE, PAGE_SIZE)  # exactly page 1, nothing else
+    assert bm.dirty_pages == [1]
+    bm.clear()
+    bm.mark(0, PAGE_SIZE + 1)  # one byte into page 1
+    assert bm.dirty_pages == [0, 1]
+    bm.clear()
+    bm.mark(3 * PAGE_SIZE - 1, 1)  # last byte of page 2
+    assert bm.dirty_pages == [2]
+
+
+def test_zero_length_and_out_of_range_writes():
+    bm = DirtyBitmap(4 * PAGE_SIZE)
+    bm.mark(PAGE_SIZE, 0)
+    assert bm.dirty_pages == []
+    bm.mark(100 * PAGE_SIZE, PAGE_SIZE)  # past the region: ignored
+    assert bm.dirty_pages == []
+    bm.mark(3 * PAGE_SIZE, 100 * PAGE_SIZE)  # clipped at the region end
+    assert bm.dirty_pages == [3]
+    with pytest.raises(ValueError):
+        page_span(-1, 10)
+    with pytest.raises(ValueError):
+        page_span(0, -10)
+
+
+def test_partial_tail_page_byte_accounting():
+    size = 2 * PAGE_SIZE + 100
+    bm = DirtyBitmap(size)
+    assert bm.n_pages == 3
+    bm.mark(0, size)
+    assert bm.dirty_bytes == size  # tail page counts its 100 real bytes
+    bm.clear()
+    bm.mark(2 * PAGE_SIZE, 1)
+    assert bm.dirty_bytes == 100
+    bm.mark(0, 1)
+    assert bm.dirty_bytes == PAGE_SIZE + 100
+
+
+def test_region_write_hook_is_noop_without_tracker():
+    region = MemoryRegion("heap", 4 * PAGE_SIZE)
+    region.write(0, PAGE_SIZE)  # no tracker: pure no-op
+    assert region.tracker is None
+    region.enable_tracking()
+    region.enable_tracking()  # idempotent
+    region.write(PAGE_SIZE + 10, 20)
+    assert region.tracker.bitmap.dirty_pages == [1]
+    assert region.tracker.all_versions() == {1: 1}

@@ -19,7 +19,12 @@ from repro.check import (
     run_scenario,
 )
 from repro.check.fuzz import default_faults
-from repro.check.scenarios import SCENARIOS, TRANSFER_FAULT_MODES, scenario_names
+from repro.check.scenarios import (
+    INCREMENTAL_MODES,
+    SCENARIOS,
+    TRANSFER_FAULT_MODES,
+    scenario_names,
+)
 from repro.obs.cli import main
 from repro.sim import Simulator
 
@@ -105,13 +110,15 @@ def test_unknown_scenario_is_rejected():
 
 def test_scenario_names_expand_fault_phases():
     names = scenario_names()
-    parameterized = {"checkpoint_fault", "transfer_fault", "fleet"}
+    parameterized = {"checkpoint_fault", "transfer_fault", "fleet", "incremental"}
     assert set(SCENARIOS) - parameterized <= set(names)
     for phase in CHECKPOINT_FAULT_PHASES:
         assert f"checkpoint_fault:{phase}" in names
     for mode in TRANSFER_FAULT_MODES:
         assert f"transfer_fault:{mode}" in names
     assert "fleet:rack8" in names
+    for mode in INCREMENTAL_MODES:
+        assert f"incremental:{mode}" in names
 
 
 def test_fuzz_smoke_all_scenarios_pass_oracles():
