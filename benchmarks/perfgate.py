@@ -353,6 +353,57 @@ def wl_telemetry_overhead(topology="rack8", ops_per_card=4, interval=0.05):
     return events_on
 
 
+def wl_plugin_dispatch(iterations=20):
+    """The checkpoint-content plugin tax: the same fault-free checkpoint
+    cycle with the builtins-only registry and with every standard content
+    plugin registered (the app owns none of the plugged resources, so the
+    extras all decline). The registry walk, the agent's drain phase, and
+    the COI metadata image must together inflate the kernel event count by
+    < 2%. The score is the plugins-on run's event count, so dispatch bloat
+    shows up both in the assertion and as a throughput regression.
+    """
+    from dataclasses import replace
+
+    from repro.apps import OPENMP_BENCHMARKS, OffloadApplication
+    from repro.blcr.plugins import register_standard_plugins
+    from repro.snapify import checkpoint_offload_app, snapify_t
+    from repro.testbed import XeonPhiServer
+
+    def cycle(with_plugins):
+        sim = Simulator()
+        server = XeonPhiServer(sim=sim)
+        if with_plugins:
+            register_standard_plugins(server.phi_os(0))
+            register_standard_plugins(server.phi_os(1))
+        profile = replace(OPENMP_BENCHMARKS["MC"], iterations=iterations)
+        app = OffloadApplication(server, profile)
+
+        def driver(s):
+            yield from app.launch()
+            yield s.timeout(0.3)
+            snap = snapify_t("/bench/plug", coiproc=app.coiproc)
+            yield from checkpoint_offload_app(snap)
+            yield app.host_proc.main_thread.done
+
+        server.run(driver(sim))
+        assert app.verify(), "plugin dispatch run corrupted the application"
+        return next(sim._seq)
+
+    events_off = cycle(with_plugins=False)
+    events_on = cycle(with_plugins=True)
+    overhead = (events_on - events_off) / events_off
+    assert overhead < 0.02, (
+        f"plugin dispatch overhead {overhead:.2%} >= 2% on the fault-free "
+        f"checkpoint path ({events_on} vs {events_off} kernel events)"
+    )
+    wl_plugin_dispatch.extras = {
+        "events_off": events_off,
+        "events_on": events_on,
+        "overhead_pct": round(overhead * 100, 3),
+    }
+    return events_on
+
+
 WORKLOADS = {
     "event_dispatch": wl_event_dispatch,
     "ping_pong": wl_ping_pong,
@@ -364,6 +415,7 @@ WORKLOADS = {
     "incremental_checkpoint": wl_incremental_checkpoint,
     "fleet_sweep": wl_fleet_sweep,
     "telemetry_overhead": wl_telemetry_overhead,
+    "plugin_dispatch": wl_plugin_dispatch,
 }
 
 

@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..osim.process import MemoryRegion, SimProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .plugins import PluginImage, PluginRegistry
 
 #: Size of one metadata record.
 SMALL_RECORD = 256
@@ -64,8 +67,15 @@ class ProcessContext:
     store: Dict[str, Any]
     regions: List[RegionImage]
     main_factory: Optional[Callable] = None
-    #: Free-form runtime hints preserved across restart (e.g. COI metadata).
+    #: .. deprecated:: superseded by ``plugin_images`` (see
+    #:    :class:`~repro.blcr.plugins.COIMetadataPlugin`); kept so legacy
+    #:    captures deserialize. New code should not write to it.
     annotations: Dict[str, Any] = field(default_factory=dict)
+    #: Ordered images from non-builtin checkpoint plugins (sockets, RAM-FS
+    #: files, signals, RDMA windows, ...). Empty for legacy captures, which
+    #: keeps ``image_bytes``/``write_plan`` — and the golden trace —
+    #: byte-identical when only the built-ins are registered.
+    plugin_images: List["PluginImage"] = field(default_factory=list)
 
     @property
     def image_bytes(self) -> int:
@@ -78,11 +88,25 @@ class ProcessContext:
 
     @property
     def n_small_records(self) -> int:
-        return BASE_SMALL_RECORDS + RECORDS_PER_THREAD * self.nthreads + len(self.regions)
+        return (
+            BASE_SMALL_RECORDS
+            + RECORDS_PER_THREAD * self.nthreads
+            + len(self.regions)
+            + sum(image.records for image in self.plugin_images)
+        )
 
     @property
     def bulk_bytes(self) -> int:
-        return sum(r.size for r in self.regions)
+        return sum(r.size for r in self.regions) + sum(
+            image.bulk_bytes for image in self.plugin_images
+        )
+
+    def plugin_payload(self, name: str) -> Optional[Any]:
+        """The payload of the named plugin's image, or ``None``."""
+        for image in self.plugin_images:
+            if image.plugin == name:
+                return image.payload
+        return None
 
     def write_plan(self) -> List[Tuple[int, Optional[Any]]]:
         """The (nbytes, record) sequence BLCR pushes through the descriptor.
@@ -100,21 +124,50 @@ class ProcessContext:
                 chunk = min(remaining, BULK_CHUNK)
                 plan.append((chunk, None))
                 remaining -= chunk
+        # Plugin bulk payloads stream after the region pages, in image order
+        # (the restore side mirrors this layout).
+        for image in self.plugin_images:
+            remaining = image.bulk_bytes
+            while remaining > 0:
+                chunk = min(remaining, BULK_CHUNK)
+                plan.append((chunk, None))
+                remaining -= chunk
         return plan
 
     @staticmethod
-    def capture(proc: SimProcess) -> "ProcessContext":
+    def capture(
+        proc: SimProcess, registry: Optional["PluginRegistry"] = None
+    ) -> "ProcessContext":
         """Freeze a live process into a context (instantaneous state copy).
+
+        Capture is plugin-driven: each registered plugin's ``pre_checkpoint``
+        freezes its resource. The built-ins (memory regions, store) fold into
+        the legacy context fields; extras append to ``plugin_images``. With
+        the default registry the result is bit-for-bit what the monolithic
+        capture produced.
 
         The caller is responsible for quiescence: Snapify guarantees it via
         the pause protocol, native benchmarks via their own structure. The
         copy itself is atomic at the simulated instant it is taken.
         """
-        return ProcessContext(
+        from .plugins import PluginRegistry
+
+        if registry is None:
+            registry = PluginRegistry.for_process(proc)
+        ctx = ProcessContext(
             name=proc.name,
             nthreads=max(1, len([t for t in proc.threads if t.alive])),
-            store=copy.deepcopy(proc.store),
-            regions=[RegionImage.from_region(r) for r in proc.regions.values()],
+            store={},
+            regions=[],
             main_factory=proc.main_factory,
             annotations={},
         )
+        for plugin in registry:
+            image = plugin.pre_checkpoint(proc)
+            if image is None:
+                continue
+            if plugin.builtin:
+                plugin.apply_to_context(ctx, image)
+            else:
+                ctx.plugin_images.append(image)
+        return ctx

@@ -55,7 +55,13 @@ class DirtyBitmap:
         return (self.size + PAGE_SIZE - 1) // PAGE_SIZE
 
     def mark(self, offset: int, nbytes: int) -> None:
-        """Mark every page a ``(offset, nbytes)`` write straddles."""
+        """Mark every page a ``(offset, nbytes)`` write straddles.
+
+        The write is clamped to the region: bytes past ``size`` (including a
+        write starting at or beyond the end) touch no backed page — the tail
+        page is only as large as the region's remainder.
+        """
+        nbytes = min(nbytes, max(0, self.size - offset))
         first, stop = page_span(offset, nbytes)
         if first >= self.n_pages:
             return
@@ -115,10 +121,15 @@ class RegionTracker:
         self.page_versions: Dict[int, int] = {}
 
     def note_write(self, offset: int, nbytes: int) -> None:
-        """Record a write: mark pages dirty and bump their versions."""
+        """Record a write: mark pages dirty and bump their versions.
+
+        Clamped to the region like :meth:`DirtyBitmap.mark`: a write landing
+        entirely past the end touches no page and bumps no version.
+        """
+        nbytes = min(nbytes, max(0, self.size - offset))
         first, stop = page_span(offset, nbytes)
         stop = min(stop, self.bitmap.n_pages)
-        if first >= stop:
+        if first >= stop or nbytes == 0:
             return
         self.bitmap.mark(offset, nbytes)
         for p in range(first, stop):

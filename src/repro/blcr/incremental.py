@@ -32,6 +32,7 @@ from .context import (
     RegionImage,
 )
 from .dirty import PAGE_SIZE
+from .plugins import PluginImage, PluginRegistry
 
 #: runtime[] key holding per-snapshot-id epoch counters.
 EPOCHS_KEY = "snapify_epochs"
@@ -138,6 +139,11 @@ class DeltaImage:
     base_versions: Dict[str, Dict[int, int]] = field(default_factory=dict)
     #: Dirty-page payloads (delta images only).
     deltas: List[RegionDelta] = field(default_factory=list)
+    #: Non-builtin plugin images frozen at this link's capture instant
+    #: (sockets, RAM-FS files, signals, RDMA windows, ...). Empty when only
+    #: the built-ins are registered, which keeps every size below identical
+    #: to the pre-plugin model.
+    plugin_images: List[PluginImage] = field(default_factory=list)
     #: Fingerprint of the live process at capture time (ground truth).
     expected: str = ""
     #: Size of the full image this link logically represents.
@@ -165,6 +171,11 @@ class DeltaImage:
                 f"{sorted(d.versions.items())}|{_stable(d.data)}".encode(),
                 h,
             )
+        for pi in self.plugin_images:
+            h = zlib.crc32(
+                f"P|{pi.plugin}|{pi.records}|{pi.bulk_bytes}|{_stable(pi.payload)}".encode(),
+                h,
+            )
         h = zlib.crc32(f"E|{self.expected}".encode(), h)
         return h & 0xFFFFFFFF
 
@@ -183,8 +194,15 @@ class DeltaImage:
     # -- serialization cost model ------------------------------------------
     @property
     def n_small_records(self) -> int:
-        n_regions = len(self.base.regions) if self.base is not None else len(self.deltas)
-        return BASE_SMALL_RECORDS + RECORDS_PER_THREAD * self.nthreads + n_regions
+        if self.base is not None:
+            # The base context already accounts for its own plugin images.
+            return self.base.n_small_records
+        return (
+            BASE_SMALL_RECORDS
+            + RECORDS_PER_THREAD * self.nthreads
+            + len(self.deltas)
+            + sum(pi.records for pi in self.plugin_images)
+        )
 
     @property
     def metadata_bytes(self) -> int:
@@ -201,9 +219,12 @@ class DeltaImage:
         for _ in range(self.n_small_records - 1):
             plan.append((SMALL_RECORD, None))
         plan.append((SMALL_RECORD, self))
-        bulk = self.base.bulk_bytes if self.base is not None else sum(
-            d.delta_bytes for d in self.deltas
-        )
+        if self.base is not None:
+            bulk = self.base.bulk_bytes  # already includes plugin bulk bytes
+        else:
+            bulk = sum(d.delta_bytes for d in self.deltas) + sum(
+                pi.bulk_bytes for pi in self.plugin_images
+            )
         remaining = bulk
         while remaining > 0:
             chunk = min(remaining, BULK_CHUNK)
@@ -240,6 +261,7 @@ def capture_incremental(proc: SimProcess, snapshot_id: str) -> DeltaImage:
             main_factory=proc.main_factory,
             base=base,
             base_versions=base_versions,
+            plugin_images=list(base.plugin_images),
             logical_bytes=base.image_bytes,
             delta_bytes=base.image_bytes,
         )
@@ -268,8 +290,20 @@ def capture_incremental(proc: SimProcess, snapshot_id: str) -> DeltaImage:
                 )
             )
         nthreads = max(1, len([t for t in proc.threads if t.alive]))
-        n_small = BASE_SMALL_RECORDS + RECORDS_PER_THREAD * nthreads + len(proc.regions)
-        logical = n_small * SMALL_RECORD + sum(r.size for r in proc.regions.values())
+        # Plugin resources have no dirty bitmap: every delta re-freezes the
+        # extras whole (they are metadata-sized next to memory pages).
+        plugin_images = PluginRegistry.for_process(proc).capture_extras(proc)
+        n_small = (
+            BASE_SMALL_RECORDS
+            + RECORDS_PER_THREAD * nthreads
+            + len(proc.regions)
+            + sum(pi.records for pi in plugin_images)
+        )
+        logical = (
+            n_small * SMALL_RECORD
+            + sum(r.size for r in proc.regions.values())
+            + sum(pi.bulk_bytes for pi in plugin_images)
+        )
         image = DeltaImage(
             snapshot_id=snapshot_id,
             epoch=epoch,
@@ -278,9 +312,14 @@ def capture_incremental(proc: SimProcess, snapshot_id: str) -> DeltaImage:
             store=copy.deepcopy(proc.store),
             main_factory=proc.main_factory,
             deltas=deltas,
+            plugin_images=plugin_images,
             logical_bytes=logical,
         )
-        image.delta_bytes = image.metadata_bytes + sum(d.delta_bytes for d in deltas)
+        image.delta_bytes = (
+            image.metadata_bytes
+            + sum(d.delta_bytes for d in deltas)
+            + sum(pi.bulk_bytes for pi in plugin_images)
+        )
     image.expected = state_fingerprint(proc)
     image.seal()
     for region in proc.regions.values():
@@ -322,11 +361,16 @@ def reassemble(images: List[DeltaImage], verify: bool = True) -> ProcessContext:
     store = copy.deepcopy(head.store)
     nthreads = head.nthreads
     main_factory = head.main_factory
+    # Plugins re-freeze whole at every link, so the newest non-empty set is
+    # the restorable one (an empty set on a later link means the resources
+    # were gone at that capture — e.g. all sockets closed — and wins too).
+    plugin_images = list(head.plugin_images)
 
     for img in images[1:]:
         store = copy.deepcopy(img.store)
         nthreads = img.nthreads
         main_factory = img.main_factory or main_factory
+        plugin_images = list(img.plugin_images)
         for d in img.deltas:
             if d.name not in regions:
                 order.append(d.name)
@@ -351,4 +395,5 @@ def reassemble(images: List[DeltaImage], verify: bool = True) -> ProcessContext:
         regions=[regions[n] for n in order],
         main_factory=main_factory,
         annotations=dict(head.base.annotations),
+        plugin_images=copy.deepcopy(plugin_images),
     )

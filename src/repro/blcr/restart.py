@@ -4,8 +4,14 @@
 on a target OS: it re-maps every memory region (which can legitimately fail
 with :class:`~repro.hw.memory.MemoryExhausted` — restoring a big process
 onto a loaded card is exactly the hazard the paper describes), restores the
-store, and restarts the main program with ``_blcr_restored`` set so
-resumable programs take their restart branch.
+store, replays every checkpoint plugin's ``post_restart`` hook (sockets,
+RAM-FS files, signal state, RDMA windows), and restarts the main program
+with ``_blcr_restored`` set so resumable programs take their restart branch.
+
+``cr_restore_context`` is the same rebuild from an in-memory context (the
+memory-tier hit path): no descriptor reads, but the per-record CPU cost and
+the kernel page-walk over the image bytes are still charged. Both paths
+share :func:`_rebuild_process`.
 """
 
 from __future__ import annotations
@@ -17,6 +23,94 @@ from ..osim.fd import FileDescriptor
 from ..osim.process import OSInstance, SimProcess
 from .checkpoint import BLCRError, page_walk_cost
 from .context import BULK_CHUNK, RECORD_CPU_COST, SMALL_RECORD, ProcessContext
+from .plugins import PluginRegistry
+
+#: Fallback metadata-scan bound when the descriptor's extent is unknowable
+#: (e.g. a pipe). 64 Ki records = 16 MiB of metadata — far beyond any
+#: context this simulator produces, but finite: a descriptor that never
+#: yields a header fails with a diagnostic instead of spinning.
+DEFAULT_METADATA_SCAN_LIMIT = 65_536
+
+
+def _metadata_scan_limit(fd: FileDescriptor) -> int:
+    """Upper bound on metadata records the header scan may read.
+
+    Derived from the descriptor itself: a file-backed descriptor cannot hold
+    more records than its file size; a record-stream descriptor no more than
+    its queued records. Only when neither extent is visible does the
+    :data:`DEFAULT_METADATA_SCAN_LIMIT` fallback apply.
+    """
+    fs = getattr(fd, "fs", None)
+    path = getattr(fd, "path", None)
+    if fs is not None and path is not None and fs.exists(path):
+        return max(1, fs.stat(path).size // SMALL_RECORD + 1)
+    records = getattr(fd, "_records", None)
+    if records is not None:
+        return max(1, len(records))
+    return DEFAULT_METADATA_SCAN_LIMIT
+
+
+def _rebuild_process(
+    os: OSInstance,
+    ctx: ProcessContext,
+    name: Optional[str],
+    fd: Optional[FileDescriptor] = None,
+):
+    """Sub-generator: the shared rebuild behind both restart paths.
+
+    Spawns the process shell, streams in the bulk payload (region pages,
+    then plugin bulk, mirroring ``write_plan``'s layout; ``fd`` is None on
+    the in-memory path where only the page-walk cost is charged), restores
+    the store, and runs every plugin image's ``post_restart`` hook. Region
+    data and the store are DEEP-COPIED out of the context: a snapshot may be
+    restored from many times (repeated failures), and restored processes
+    must never share mutable state with the context or with each other.
+    """
+    sim = os.sim
+    per_byte = page_walk_cost(os)
+    proc = yield from os.spawn_process(
+        name or ctx.name, image_size=0, main_factory=ctx.main_factory, start=False
+    )
+    try:
+        for region in ctx.regions:
+            proc.map_region(
+                region.name, region.size, kind=region.kind,
+                data=copy.deepcopy(region.data), pinned=region.pinned,
+            )
+            remaining = region.size
+            while remaining > 0:
+                chunk = min(remaining, BULK_CHUNK)
+                yield sim.timeout(per_byte * chunk)
+                if fd is not None:
+                    yield from fd.read(chunk)
+                remaining -= chunk
+
+        proc.store.update(copy.deepcopy(ctx.store))
+        proc.store["_blcr_restored"] = True
+
+        # Plugin images: drain each one's bulk bytes, then hand it to the
+        # target OS's registered plugin to rebuild the resource. A typed
+        # PluginError here (unreconnectable socket, RDMA cross-migrate) is a
+        # loud failure, not silent corruption — the half-built process is
+        # torn down like any other failed restore.
+        registry = PluginRegistry.of(os)
+        for image in ctx.plugin_images:
+            remaining = image.bulk_bytes
+            while remaining > 0:
+                chunk = min(remaining, BULK_CHUNK)
+                yield sim.timeout(per_byte * chunk)
+                if fd is not None:
+                    yield from fd.read(chunk)
+                remaining -= chunk
+            plugin = registry.get(image.plugin)
+            hook = plugin.post_restart(proc, image, os)
+            if hook is not None:
+                yield from hook
+    except Exception:
+        # Failed restore must not leak the half-built process.
+        proc.terminate(code=1)
+        raise
+    return proc
 
 
 def cr_restart(
@@ -31,12 +125,14 @@ def cr_restart(
     pattern: a burst of small metadata reads, then bulk page reads.
     """
     sim = os.sim
-    per_byte = page_walk_cost(os)
     ctx: Optional[ProcessContext] = None
     # Metadata burst: read small records until the context header appears,
-    # then the remaining per-thread/per-region metadata records.
+    # then the remaining per-thread/per-region metadata records. The scan is
+    # bounded by the descriptor's own extent — a corrupt or truncated image
+    # fails loudly instead of walking an arbitrary record count.
     reads_done = 0
-    for _ in range(100_000):
+    scan_limit = _metadata_scan_limit(fd)
+    while reads_done < scan_limit:
         yield sim.timeout(RECORD_CPU_COST)
         record = yield from fd.read(SMALL_RECORD)
         reads_done += 1
@@ -44,40 +140,16 @@ def cr_restart(
             ctx = record
             break
     if ctx is None:
-        raise BLCRError("descriptor did not yield a process context")
+        raise BLCRError(
+            f"no process context header in {fd.name!r} after {reads_done} "
+            f"metadata record(s) (scan limit {scan_limit}); the image is "
+            "truncated or not a BLCR context"
+        )
     for _ in range(max(0, ctx.n_small_records - reads_done)):
         yield sim.timeout(RECORD_CPU_COST)
         yield from fd.read(SMALL_RECORD)
 
-    # Rebuild the process shell first (fork+exec cost).
-    proc = yield from os.spawn_process(
-        name or ctx.name, image_size=0, main_factory=ctx.main_factory, start=False
-    )
-
-    # Bulk pages: each region is mapped (charging physical memory) while its
-    # bytes stream in through the descriptor. Region data and the store are
-    # DEEP-COPIED out of the context: a snapshot may be restored from many
-    # times (repeated failures), and restored processes must never share
-    # mutable state with the context or with each other.
-    try:
-        for region in ctx.regions:
-            proc.map_region(
-                region.name, region.size, kind=region.kind,
-                data=copy.deepcopy(region.data), pinned=region.pinned,
-            )
-            remaining = region.size
-            while remaining > 0:
-                chunk = min(remaining, BULK_CHUNK)
-                yield sim.timeout(per_byte * chunk)
-                yield from fd.read(chunk)
-                remaining -= chunk
-    except Exception:
-        # Failed restore must not leak the half-built process.
-        proc.terminate(code=1)
-        raise
-
-    proc.store.update(copy.deepcopy(ctx.store))
-    proc.store["_blcr_restored"] = True
+    proc = yield from _rebuild_process(os, ctx, name, fd=fd)
     if start:
         proc.start()
     return proc
@@ -97,30 +169,10 @@ def cr_restore_context(
     onto a loaded card can still fail with MemoryExhausted.
     """
     sim = os.sim
-    per_byte = page_walk_cost(os)
     for _ in range(ctx.n_small_records):
         yield sim.timeout(RECORD_CPU_COST)
 
-    proc = yield from os.spawn_process(
-        name or ctx.name, image_size=0, main_factory=ctx.main_factory, start=False
-    )
-    try:
-        for region in ctx.regions:
-            proc.map_region(
-                region.name, region.size, kind=region.kind,
-                data=copy.deepcopy(region.data), pinned=region.pinned,
-            )
-            remaining = region.size
-            while remaining > 0:
-                chunk = min(remaining, BULK_CHUNK)
-                yield sim.timeout(per_byte * chunk)
-                remaining -= chunk
-    except Exception:
-        proc.terminate(code=1)
-        raise
-
-    proc.store.update(copy.deepcopy(ctx.store))
-    proc.store["_blcr_restored"] = True
+    proc = yield from _rebuild_process(os, ctx, name, fd=None)
     if start:
         proc.start()
     return proc

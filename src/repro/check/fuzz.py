@@ -27,6 +27,9 @@ def default_faults(scenario: str, seed: int) -> List[Dict[str, Any]]:
     prove an unrelated card failure never perturbs a protocol in flight.
     Scenarios that use both cards (migrate) and the phase-injection
     scenarios (checkpoint_fault:*) carry their fault in the scenario itself.
+    The plugin:* sweep runs fault-free by design (it falls through to the
+    empty plan): its adversary is the seed's restore-target parity, not an
+    injected failure.
     """
     base, _, mode = scenario.partition(":")
     if base == "transfer_fault":

@@ -513,6 +513,98 @@ def partner_copy_consistent(server: "XeonPhiServer") -> List[Violation]:
     return out
 
 
+def socket_listeners_owned(server: "XeonPhiServer") -> List[Violation]:
+    """Every bound socket name with an owner belongs to a *live* process.
+
+    A listener re-bound by the socket checkpoint plugin (or bound by any
+    process) is released when its owner terminates; a name still bound to a
+    dead owner at quiescence is a namespace leak — the next restore of the
+    same image would fail its re-bind with a spurious collision.
+    """
+    out: List[Violation] = []
+    for label, _mem, os in _pools(server):
+        for address, listener in os.sockets.bound.items():
+            owner = listener.owner
+            if owner is not None and not owner.alive:
+                out.append(Violation(
+                    "socket_listeners_owned",
+                    f"{label}: listener {address!r} still bound to dead "
+                    f"process {owner.name}",
+                ))
+    return out
+
+
+def restored_files_consistent(server: "XeonPhiServer") -> List[Violation]:
+    """Plugin-restored RAM-FS descriptors point at real files, mid-range.
+
+    For every live process the ramfs_files plugin restored descriptors for:
+    the backing file must exist on that OS's file system and the read cursor
+    must sit within the record stream — a cursor past the end means the
+    restore resurrected an offset the content does not cover.
+    """
+    out: List[Violation] = []
+    for label, _mem, os in _pools(server):
+        for proc in os.processes.values():
+            for path, fd in proc.runtime.get("restored_files", {}).items():
+                if not os.fs.exists(path):
+                    out.append(Violation(
+                        "restored_files_consistent",
+                        f"{label}/{proc.name}: restored fd for missing file "
+                        f"{path!r}",
+                    ))
+                if fd._read_cursor > len(fd._records):
+                    out.append(Violation(
+                        "restored_files_consistent",
+                        f"{label}/{proc.name}: {path!r} cursor "
+                        f"{fd._read_cursor} beyond {len(fd._records)} records",
+                    ))
+    return out
+
+
+def pending_signals_blocked(server: "XeonPhiServer") -> List[Violation]:
+    """A queued signal at quiescence is only legal while it is blocked.
+
+    Signals queue exclusively because the mask blocks them; once unblocked
+    they must have been delivered. A pending signal whose number is not in
+    the blocked mask at quiescence is a lost delivery — exactly the bug the
+    signals checkpoint plugin exists to prevent across restore.
+    """
+    out: List[Violation] = []
+    for label, _mem, os in _pools(server):
+        for proc in os.processes.values():
+            stuck = [s for s in proc.pending_signals
+                     if s not in proc.blocked_signals]
+            if stuck:
+                out.append(Violation(
+                    "pending_signals_blocked",
+                    f"{label}/{proc.name}: signal(s) {stuck} pending but not "
+                    "blocked — delivery was lost",
+                ))
+    return out
+
+
+def rdma_windows_replayed(server: "XeonPhiServer") -> List[Violation]:
+    """No live restored process still carries un-replayed RDMA window specs.
+
+    The RDMA plugin stashes captured windows in
+    ``runtime["rdma_restore_pending"]`` for the program to re-register via
+    :func:`~repro.blcr.plugins.replay_rdma_windows`. Specs still pending at
+    quiescence mean the restored process ran to quiescence without its
+    windows — its RDMA operations were silently un-backed.
+    """
+    out: List[Violation] = []
+    for label, _mem, os in _pools(server):
+        for proc in os.processes.values():
+            pending = proc.runtime.get("rdma_restore_pending")
+            if pending:
+                out.append(Violation(
+                    "rdma_windows_replayed",
+                    f"{label}/{proc.name}: {len(pending)} RDMA window(s) "
+                    "captured but never re-registered after restore",
+                ))
+    return out
+
+
 #: All oracles, in check order. ``check_all`` runs every one of these.
 ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     memory_accounting,
@@ -531,6 +623,10 @@ ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     fleet_quiescent,
     delta_chain_reconstructs,
     partner_copy_consistent,
+    socket_listeners_owned,
+    restored_files_consistent,
+    pending_signals_blocked,
+    rdma_windows_replayed,
     no_crashed_threads,
 ]
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..apps import OffloadApplication, expected_checksum
+from ..blcr.plugins import PluginError
 from ..coi import OffloadBinary, OffloadFunction
 from ..coi.services import COIError
 from ..hw import MB
@@ -48,7 +49,7 @@ from .oracles import Violation, check_all
 #: Errors a faulted run may legitimately surface instead of completing:
 #: the protocol's documented failure reports, not crashes.
 CLEAN_ERRORS = (SnapifyError, COIError, ScifError, ConnectionReset, MemoryExhausted,
-                SnapifyIOError)
+                SnapifyIOError, PluginError)
 
 #: Phase boundaries at which ``checkpoint_fault`` injects the card failure.
 CHECKPOINT_FAULT_PHASES = (
@@ -68,6 +69,13 @@ TRANSFER_FAULT_MODES = ("flap", "daemon_crash", "fallback", "cascade")
 #: partner card dying mid-replication, and the NFS demotion path flapping
 #: under the background demotion ticket.
 INCREMENTAL_MODES = ("delta_chain", "partner_loss", "demotion_race")
+
+#: Resource classes of the ``plugin:<mode>`` sweep — one checkpoint-content
+#: plugin each (sockets, RAM-FS file offsets, pending signals, RDMA
+#: windows). Plugin scenarios run fault-free: the adversary is the seed's
+#: restore-target parity (same card vs cross card), not an injected fault.
+PLUGIN_MODES = ("socket_restore", "ramfs_offsets", "signal_pending",
+                "rdma_migrate")
 
 ITERATIONS = 8
 _GRACE = 5.0  # simulated seconds a faulted app may take to surface its error
@@ -474,6 +482,183 @@ def _incremental(server, app, injector, phase, faults):
     return {"outcome": "completed", "violations": bad + _verify_violation(app)}
 
 
+def _plugin(server, app, injector, phase, faults):
+    """One checkpoint-content plugin round-tripping its resource class.
+
+    ``phase`` picks the resource (see :data:`PLUGIN_MODES`). The driver
+    builds a bare process on card 0 owning exactly that resource, captures
+    it with :func:`~repro.blcr.cr_checkpoint` through a host-FS descriptor,
+    terminates the source, then restores on card 0 or card 1 — the schedule
+    seed's parity decides, so the fuzz sweep exercises both targets. The
+    quiescence oracles (``socket_listeners_owned``,
+    ``restored_files_consistent``, ``pending_signals_blocked``,
+    ``rdma_windows_replayed``) judge the aftermath; the driver itself
+    asserts the resource actually works again. Cross-card restores of
+    namespace sockets and RDMA windows must refuse with the typed
+    :class:`~repro.blcr.plugins.PluginError` — silently dropping the
+    resource is the bug class this scenario exists to catch.
+    """
+    from ..blcr import cr_checkpoint, cr_restart
+    from ..blcr.plugins import (
+        RDMA_PENDING_KEY,
+        register_standard_plugins,
+        replay_rdma_windows,
+    )
+    from ..osim import signals as sig
+    from ..osim.fd import RegularFileFD
+    from ..osim.sockets import UnixSocket
+    from ..scif.endpoint import ScifNetwork
+
+    if phase not in PLUGIN_MODES:
+        raise ValueError(f"unknown plugin mode {phase!r}")
+    sim = server.sim
+    cross = bool((sim.schedule_seed or 0) % 2)
+    src_os = server.phi_os(0)
+    dst_os = server.phi_os(1) if cross else src_os
+    register_standard_plugins(src_os)
+    register_standard_plugins(dst_os)
+    bad: List[Violation] = []
+
+    proc = yield from src_os.spawn_process("plugproc", image_size=4 * MB,
+                                           start=False)
+    proc.map_region("heap", 2 * MB, data=["plug-heap"])
+    proc.store["mode"] = phase
+    client_name = ramfs_path = None
+
+    if phase == "socket_restore":
+        a, b = UnixSocket.pair(sim, src_os.sockets.default_bandwidth,
+                               name="plugpair")
+        proc.register_fd(a)
+        proc.register_fd(b)
+        yield from a.write(8192, record="warm")
+        if (yield from b.read()) != "warm":
+            bad.append(Violation("plugin", "socket pair broken before capture"))
+        # A long-lived service owns the listener, so the name survives the
+        # checkpointed process's death and a same-card reconnect can land.
+        srv = yield from src_os.spawn_process("plugsrv", image_size=MB,
+                                              start=False)
+        src_os.sockets.listen("@plug", owner=srv)
+        client = yield from src_os.sockets.connect("@plug")
+        proc.register_fd(client)
+        client_name = client.name
+    elif phase == "ramfs_offsets":
+        ramfs_path = "/plug/data"
+        yield from src_os.fs.write(ramfs_path, 6 * 4096,
+                                   payload=[f"rec{i}" for i in range(6)])
+        fd = RegularFileFD(sim, src_os.fs, ramfs_path, "r")
+        proc.register_fd(fd)
+        for i in range(2):  # leave the cursor mid-file
+            if (yield from fd.read(4096)) != f"rec{i}":
+                bad.append(Violation("plugin", "ramfs read wrong before capture"))
+    elif phase == "signal_pending":
+        def _bump(p, signum):
+            p.store["sig_count"] = p.store.get("sig_count", 0) + 1
+            return
+            yield  # pragma: no cover - generator form
+
+        proc.install_signal_handler(sig.SIGUSR1, _bump)
+        proc.block_signal(sig.SIGUSR1)
+        proc.deliver_signal(sig.SIGUSR1)
+        proc.deliver_signal(sig.SIGUSR1)
+    else:  # rdma_migrate
+        from ..scif.registry import scif_register
+
+        net = ScifNetwork.of(server.node)
+        net.listen(server.host_os, 3971)
+        ep = yield from net.connect(src_os, 0, 3971, proc=proc)
+        yield from scif_register(ep, MB)
+        yield from scif_register(ep, 2 * MB)
+
+    yield sim.timeout(0.05)
+    ckpt_path = f"/fz/plug_{phase}"
+    wfd = RegularFileFD(sim, server.host_os.fs, ckpt_path, "w")
+    yield from cr_checkpoint(proc, wfd)
+    wfd.close()
+    proc.terminate(code=0)
+    yield sim.timeout(0.05)
+
+    rfd = RegularFileFD(sim, server.host_os.fs, ckpt_path, "r")
+    expect_refusal = cross and phase in ("socket_restore", "rdma_migrate")
+    try:
+        restored = yield from cr_restart(dst_os, rfd, name="plugproc.r",
+                                         start=False)
+    except PluginError as exc:
+        rfd.close()
+        if not expect_refusal:
+            bad.append(Violation(
+                "plugin", f"{phase}: restore on {dst_os.name} refused "
+                f"unexpectedly: {exc!r}",
+            ))
+        return {"outcome": "faulted", "error": repr(exc), "violations": bad}
+    rfd.close()
+    if expect_refusal:
+        bad.append(Violation(
+            "plugin",
+            f"{phase}: cross-card restore succeeded but must refuse (the "
+            "resource is pinned to the source card)",
+        ))
+        return {"outcome": "completed", "violations": bad}
+
+    if restored.store.get("mode") != phase:
+        bad.append(Violation("plugin", "store lost across restore"))
+    if phase == "socket_restore":
+        socks = restored.runtime.get("restored_sockets", {})
+        ra, rb = socks.get("plugpair.a"), socks.get("plugpair.b")
+        if ra is None or rb is None:
+            bad.append(Violation("plugin", "socket pair not restored"))
+        else:
+            yield from ra.write(4096, record="ping")
+            if (yield from rb.read()) != "ping":
+                bad.append(Violation(
+                    "plugin", "restored pair dropped a datagram"))
+        rc = socks.get(client_name)
+        if rc is None or rc.address != "@plug":
+            bad.append(Violation(
+                "plugin", f"namespace client {client_name!r} not reconnected"))
+    elif phase == "ramfs_offsets":
+        rfile = restored.runtime.get("restored_files", {}).get(ramfs_path)
+        if rfile is None or rfile._read_cursor != 2:
+            bad.append(Violation(
+                "plugin",
+                f"read cursor lost: {rfile and rfile._read_cursor!r}",
+            ))
+        elif (yield from rfile.read(4096)) != "rec2":
+            bad.append(Violation(
+                "plugin", "restored file resumed at the wrong record"))
+    elif phase == "signal_pending":
+        if restored.pending_signals != [sig.SIGUSR1, sig.SIGUSR1]:
+            bad.append(Violation(
+                "plugin",
+                f"pending signals lost: {restored.pending_signals}",
+            ))
+        if sig.SIGUSR1 not in restored.blocked_signals:
+            bad.append(Violation("plugin", "blocked mask lost across restore"))
+        restored.unblock_signal(sig.SIGUSR1)
+        yield sim.timeout(0.01)
+        if restored.store.get("sig_count", 0) != 2:
+            bad.append(Violation(
+                "plugin",
+                f"queued signals not delivered after unblock "
+                f"(sig_count={restored.store.get('sig_count')})",
+            ))
+    else:  # rdma_migrate, same card
+        pending = restored.runtime.get(RDMA_PENDING_KEY)
+        if not pending or len(pending) != 2:
+            bad.append(Violation(
+                "plugin", f"RDMA windows not stashed for replay: {pending!r}"))
+        else:
+            net = ScifNetwork.of(server.node)
+            ep2 = yield from net.connect(dst_os, 0, 3971, proc=restored)
+            table = yield from replay_rdma_windows(restored, ep2)
+            if len(table) != 2 or sum(ep2.windows.values()) != 3 * MB:
+                bad.append(Violation(
+                    "plugin",
+                    f"window replay incomplete: map={table!r}, "
+                    f"registered={sum(ep2.windows.values())}",
+                ))
+    return {"outcome": "completed", "violations": bad}
+
+
 SCENARIOS = {
     "checkpoint": _checkpoint,
     "restart": _restart,
@@ -484,6 +669,7 @@ SCENARIOS = {
     "transfer_fault": _transfer_fault,
     "fleet": _fleet,
     "incremental": _incremental,
+    "plugin": _plugin,
 }
 
 
@@ -491,11 +677,12 @@ def scenario_names() -> List[str]:
     """All runnable names, with parameterized scenarios expanded."""
     names = [n for n in SCENARIOS
              if n not in ("checkpoint_fault", "transfer_fault", "fleet",
-                          "incremental")]
+                          "incremental", "plugin")]
     names.extend(f"checkpoint_fault:{p}" for p in CHECKPOINT_FAULT_PHASES)
     names.extend(f"transfer_fault:{m}" for m in TRANSFER_FAULT_MODES)
     names.append("fleet:rack8")
     names.extend(f"incremental:{m}" for m in INCREMENTAL_MODES)
+    names.extend(f"plugin:{m}" for m in PLUGIN_MODES)
     return names
 
 
@@ -529,8 +716,9 @@ def run_scenario(
 ) -> RunResult:
     """Run one scenario under one schedule seed and fault plan.
 
-    ``name`` is a scenario key, optionally ``checkpoint_fault:<phase>`` or
-    ``transfer_fault:<mode>``. ``faults`` entries are dicts dispatched on
+    ``name`` is a scenario key, optionally parameterized —
+    ``checkpoint_fault:<phase>``, ``transfer_fault:<mode>``,
+    ``incremental:<mode>``, or ``plugin:<mode>``. ``faults`` entries are dicts dispatched on
     their ``"kind"`` (default ``card_failure``): ``card_failure`` takes
     ``{"device", "at"}`` plus optional ``"warning_lead"`` /
     ``"repair_after"``; ``link_flap`` takes ``{"device", "at"}`` plus

@@ -109,6 +109,14 @@ class SimProcess:
         self.runtime: Dict[str, Any] = {}
         self.threads: List[Thread] = []
         self.signal_handlers: Dict[int, Callable[["SimProcess", int], SimGen]] = {}
+        #: Signals queued while blocked, in arrival order (POSIX allows
+        #: collapsing duplicates; this model keeps every arrival).
+        self.pending_signals: List[int] = []
+        #: Currently blocked signal numbers (sigprocmask).
+        self.blocked_signals: set = set()
+        #: Listeners this process owns in the OS socket namespace; closed
+        #: (address released) when the process dies.
+        self.listeners: List[Any] = []
         self.open_fds: List[FileDescriptor] = []
         self.main_factory = main_factory
         self.main_thread: Optional[Thread] = None
@@ -172,10 +180,36 @@ class SimProcess:
             raise ProcessError(f"signal {signum} cannot be caught")
         self.signal_handlers[signum] = handler
 
+    def block_signal(self, signum: int) -> None:
+        """Add a signal to the blocked mask (sigprocmask SIG_BLOCK)."""
+        self.blocked_signals.add(signum)
+
+    def unblock_signal(self, signum: int) -> List[Optional[Thread]]:
+        """Remove a signal from the blocked mask and deliver what queued.
+
+        Pending instances of the signal are delivered in arrival order;
+        returns the handler threads spawned (None entries for default
+        actions), like repeated :meth:`deliver_signal`.
+        """
+        self.blocked_signals.discard(signum)
+        delivered: List[Optional[Thread]] = []
+        while signum in self.pending_signals and self.alive:
+            self.pending_signals.remove(signum)
+            delivered.append(self.deliver_signal(signum))
+        return delivered
+
     def deliver_signal(self, signum: int) -> Optional[Thread]:
-        """Deliver a signal: run its handler thread or apply default action."""
+        """Deliver a signal: run its handler thread or apply default action.
+
+        A blocked, catchable signal queues on ``pending_signals`` instead
+        (uncatchable signals — SIGKILL-class — ignore the mask, as on
+        POSIX); it is delivered when :meth:`unblock_signal` clears the mask.
+        """
         if self.state != RUNNING:
             raise ProcessError(f"{self.name}: signal {signum} to dead process")
+        if signum in self.blocked_signals and sig.can_be_caught(signum):
+            self.pending_signals.append(signum)
+            return None
         handler = self.signal_handlers.get(signum)
         if handler is not None:
             return self.spawn_thread(handler(self, signum), name=f"sig{signum}")
@@ -200,6 +234,13 @@ class SimProcess:
             except Exception:  # pragma: no cover - defensive cleanup
                 pass
         self.open_fds.clear()
+        self.pending_signals.clear()
+        for listener in list(self.listeners):
+            try:
+                listener.close()
+            except Exception:  # pragma: no cover - defensive cleanup
+                pass
+        self.listeners.clear()
         for name in list(self.regions):
             self.unmap_region(name)
         self.os._reap(self)

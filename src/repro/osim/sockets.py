@@ -46,6 +46,10 @@ class UnixSocket(FileDescriptor):
         self.bandwidth = bandwidth
         self._rx = Channel(sim, name=f"{name}.rx")
         self.peer: Optional["UnixSocket"] = None
+        #: Namespace address this socket is connected to (set by
+        #: :meth:`SocketNamespace.connect` on both halves); None for raw
+        #: pairs. Checkpoint plugins use it to reconnect after restore.
+        self.address: Optional[str] = None
 
     @staticmethod
     def pair(sim: "Simulator", bandwidth: float, name: str = "unixsock") -> Tuple["UnixSocket", "UnixSocket"]:
@@ -115,13 +119,21 @@ class SocketNamespace:
         self.sim = sim
         self.default_bandwidth = default_bandwidth
         self._listeners: Dict[str, Channel] = {}
+        #: address -> Listener for every bound name (oracles audit owners).
+        self.bound: Dict[str, "Listener"] = {}
 
-    def listen(self, address: str) -> "Listener":
+    def listen(self, address: str, owner: Any = None) -> "Listener":
+        """Bind ``address``; ``owner`` (a process) gets the listener tracked
+        on its ``listeners`` list so process exit releases the name."""
         if address in self._listeners:
             raise SocketError(f"address already in use: {address!r}")
         backlog = Channel(self.sim, name=f"listen:{address}")
         self._listeners[address] = backlog
-        return Listener(self, address, backlog)
+        listener = Listener(self, address, backlog, owner=owner)
+        self.bound[address] = listener
+        if owner is not None:
+            owner.listeners.append(listener)
+        return listener
 
     def connect(self, address: str, bandwidth: Optional[float] = None):
         """Sub-generator: connect to a listener; returns the client socket."""
@@ -130,6 +142,8 @@ class SocketNamespace:
             raise SocketError(f"connection refused: {address!r}")
         bw = bandwidth or self.default_bandwidth
         client, server = UnixSocket.pair(self.sim, bw, name=f"conn:{address}")
+        client.address = address
+        server.address = address
         yield backlog.send(server)
         return client
 
@@ -137,10 +151,14 @@ class SocketNamespace:
 class Listener:
     """Accept side of a listening UNIX socket."""
 
-    def __init__(self, ns: SocketNamespace, address: str, backlog: Channel):
+    def __init__(self, ns: SocketNamespace, address: str, backlog: Channel,
+                 owner: Any = None):
         self._ns = ns
         self.address = address
         self._backlog = backlog
+        #: Owning process (if bound through one); informational, used by
+        #: quiescence oracles to detect leaked listener names.
+        self.owner = owner
 
     def accept(self) -> Event:
         """Event that succeeds with the next accepted server-side socket."""
@@ -148,4 +166,7 @@ class Listener:
 
     def close(self) -> None:
         self._ns._listeners.pop(self.address, None)
+        self._ns.bound.pop(self.address, None)
         self._backlog.close()
+        if self.owner is not None and self in self.owner.listeners:
+            self.owner.listeners.remove(self)

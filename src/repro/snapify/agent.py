@@ -17,6 +17,7 @@ from __future__ import annotations
 
 
 from ..blcr import cr_request_checkpoint
+from ..blcr.plugins import PluginRegistry
 from ..coi.process import CardRuntime
 from ..obs.registry import MetricsRegistry
 from ..osim.process import SimProcess
@@ -70,6 +71,20 @@ def agent_loop(proc: SimProcess, pipe_end):
             sub = sim.trace.span("agent.quiesce", parent=sp)
             yield from runtime.quiesce()
             sub.finish()
+            # Checkpoint-plugin drain phase: at the DRAINED boundary every
+            # registered plugin that overrides pre_pause gets to quiesce its
+            # resource (e.g. wait out in-flight socket datagrams). With only
+            # the built-ins registered this emits nothing — the golden trace
+            # is untouched.
+            drainers = PluginRegistry.for_process(proc).drain_plugins()
+            if drainers:
+                sub = sim.trace.span("agent.plugin_drain", parent=sp,
+                                     plugins=len(drainers))
+                for plugin in drainers:
+                    hook = plugin.pre_pause(proc)
+                    if hook is not None:
+                        yield from hook
+                sub.finish()
             sub = sim.trace.span("agent.localstore_save", parent=sp,
                                  node=msg.get("localstore_node", 0))
             try:
@@ -91,9 +106,11 @@ def agent_loop(proc: SimProcess, pipe_end):
                 sp.finish(error=str(exc))
                 continue
             sub.finish(bytes=ls_bytes)
-            yield from pipe_end.send({"t": c.PAUSE_COMPLETE,
-                                      "localstore_bytes": ls_bytes,
-                                      "op_id": op_id})
+            reply = {"t": c.PAUSE_COMPLETE, "localstore_bytes": ls_bytes,
+                     "op_id": op_id}
+            if drainers:
+                reply["plugins_drained"] = len(drainers)
+            yield from pipe_end.send(reply)
             sp.finish(localstore_bytes=ls_bytes)
         elif op == "capture":
             if msg.get("incremental"):
@@ -154,10 +171,11 @@ def _capture_with_retry(proc: SimProcess, pipe_end, msg, op_id: int, sp):
                            attempt=attempt, error=str(exc))
             yield from policy.backoff(sim, attempt)
             continue
-        yield from pipe_end.send(
-            {"t": c.CAPTURE_COMPLETE, "image_bytes": ctx.image_bytes,
-             "op_id": op_id, "attempts": attempt, "channel": "snapifyio"}
-        )
+        reply = {"t": c.CAPTURE_COMPLETE, "image_bytes": ctx.image_bytes,
+                 "op_id": op_id, "attempts": attempt, "channel": "snapifyio"}
+        if ctx.plugin_images:
+            reply["plugins"] = len(ctx.plugin_images)
+        yield from pipe_end.send(reply)
         sp.finish(bytes=ctx.image_bytes)
         return
     yield from pipe_end.send(

@@ -149,7 +149,14 @@ def snapify_pause(snap: snapify_t):
     snap.sizes["local_store"] = done.get("localstore_bytes", 0)
     sub.finish(localstore_bytes=snap.sizes["local_store"])
     snap.timings["pause"] = sim.now - t0
-    op.transition(DRAINED, localstore_bytes=snap.sizes["local_store"])
+    if done.get("plugins_drained"):
+        # Extra plugins ran their drain hooks at the boundary; record the
+        # count on the DRAINED transition (key absent for built-in-only
+        # registries, so legacy traces are untouched).
+        op.transition(DRAINED, localstore_bytes=snap.sizes["local_store"],
+                      plugins_drained=done["plugins_drained"])
+    else:
+        op.transition(DRAINED, localstore_bytes=snap.sizes["local_store"])
     sp.finish(elapsed=snap.timings["pause"])
     sim.trace.emit("snapify.pause", pid=pid, path=snap.snapshot_path,
                    elapsed=snap.timings["pause"])
@@ -218,6 +225,7 @@ def snapify_capture(snap: snapify_t, terminate: bool):
         # snapshot and how many attempts the stream took.
         op.channel = done.get("channel", op.channel or "snapifyio")
         op.attempts = done.get("attempts", op.attempts)
+        op.plugin_images = done.get("plugins", 0)
         if done.get("incremental"):
             # image_bytes above is the LOGICAL image size; what actually
             # moved is the delta. Record both — phase/throughput math and

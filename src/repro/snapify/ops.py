@@ -155,7 +155,8 @@ class SnapifyOperation:
     __slots__ = ("op_id", "kind", "manager", "snap", "pid", "card", "span_id",
                  "state", "error", "failed_phase", "terminate", "history",
                  "done", "result", "channel", "attempts", "fleet_key",
-                 "delta_bytes", "logical_bytes", "incremental", "tier")
+                 "delta_bytes", "logical_bytes", "incremental", "tier",
+                 "plugin_images")
 
     def __init__(self, manager: "OperationManager", op_id: int, kind: str,
                  snap: Any = None, span_id: int = 0):
@@ -186,6 +187,9 @@ class SnapifyOperation:
         self.logical_bytes: Optional[int] = None
         self.incremental: bool = False
         self.tier: Optional[str] = None
+        #: Number of non-builtin checkpoint-plugin images the captured
+        #: context carried (0 for legacy captures).
+        self.plugin_images: int = 0
 
     @staticmethod
     def _pid_of(snap: Any) -> int:
@@ -240,6 +244,8 @@ class SnapifyOperation:
         }
         if self.fleet_key is not None:
             out["fleet_key"] = self.fleet_key
+        if self.plugin_images:
+            out["plugin_images"] = self.plugin_images
         return out
 
     # -- transitions --------------------------------------------------------

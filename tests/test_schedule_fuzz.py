@@ -21,6 +21,7 @@ from repro.check import (
 from repro.check.fuzz import default_faults
 from repro.check.scenarios import (
     INCREMENTAL_MODES,
+    PLUGIN_MODES,
     SCENARIOS,
     TRANSFER_FAULT_MODES,
     scenario_names,
@@ -110,7 +111,8 @@ def test_unknown_scenario_is_rejected():
 
 def test_scenario_names_expand_fault_phases():
     names = scenario_names()
-    parameterized = {"checkpoint_fault", "transfer_fault", "fleet", "incremental"}
+    parameterized = {"checkpoint_fault", "transfer_fault", "fleet",
+                     "incremental", "plugin"}
     assert set(SCENARIOS) - parameterized <= set(names)
     for phase in CHECKPOINT_FAULT_PHASES:
         assert f"checkpoint_fault:{phase}" in names
@@ -119,6 +121,8 @@ def test_scenario_names_expand_fault_phases():
     assert "fleet:rack8" in names
     for mode in INCREMENTAL_MODES:
         assert f"incremental:{mode}" in names
+    for mode in PLUGIN_MODES:
+        assert f"plugin:{mode}" in names
 
 
 def test_fuzz_smoke_all_scenarios_pass_oracles():
