@@ -404,6 +404,35 @@ def wl_plugin_dispatch(iterations=20):
     return events_on
 
 
+def wl_replication():
+    """Useful-work throughput of a replicated (R=2) job surviving a card
+    failure: the faulted replication arm of the resilience study. Asserts
+    the failure costs zero restarts and that the team-message ledger and
+    dedup accounting balance. ops = kernel events, like wl_snapshot_cycle;
+    the study's headline numbers ride in ``extras`` for the CI summary.
+    """
+    from repro.sched.study import run_mode
+
+    clean = run_mode("replication", faulted=False)
+    fault = run_mode("replication", faulted=True,
+                     fault_at=0.6 * clean["elapsed"])
+    assert fault["verified"], "replicated job finished with a bad checksum"
+    assert fault["restarts"] == 0, "replication needed a restart"
+    assert fault["drops"] == 1, f"expected one replica drop, got {fault['drops']}"
+    assert fault["ledger_balanced"], "team-message copy ledger out of balance"
+    assert fault["duplicate_deliveries"] == 0, "a logical message delivered twice"
+    slowdown = fault["elapsed"] / clean["elapsed"]
+    assert slowdown < 1.1, f"card failure cost {slowdown:.2f}x under replication"
+    wl_replication.extras = {
+        "clean_sim_s": round(clean["elapsed"], 6),
+        "faulted_sim_s": round(fault["elapsed"], 6),
+        "slowdown_x": round(slowdown, 3),
+        "useful_iterations": fault["iterations"],
+        "executed_iterations": fault["executed"],
+    }
+    return fault["events"]
+
+
 WORKLOADS = {
     "event_dispatch": wl_event_dispatch,
     "ping_pong": wl_ping_pong,
@@ -416,6 +445,7 @@ WORKLOADS = {
     "fleet_sweep": wl_fleet_sweep,
     "telemetry_overhead": wl_telemetry_overhead,
     "plugin_dispatch": wl_plugin_dispatch,
+    "replication": wl_replication,
 }
 
 

@@ -44,6 +44,8 @@ def default_faults(scenario: str, seed: int) -> List[Dict[str, Any]]:
             return []
         return [{"kind": "fleet_card_failure", "card": seed % 64,
                  "at": 2.5 + 0.1 * (seed % 5)}]
+    if base == "replication":
+        return _replication_faults(mode, seed)
     if base not in _SPARE_CARD_SCENARIOS:
         return []
     variant = seed % 3
@@ -122,6 +124,48 @@ def _incremental_faults(mode: str, seed: int) -> List[Dict[str, Any]]:
         return [{"kind": "nfs_down", "at": 0.35 + 0.1 * (seed % 6),
                  "restore_after": 0.5 + 0.5 * (seed % 4)}]
     raise ValueError(f"unknown incremental mode {mode!r}")
+
+
+def _replication_faults(mode: str, seed: int) -> List[Dict[str, Any]]:
+    """Deterministic fault plans for the ``replication:<mode>`` sweep.
+
+    Fault times are offsets after the replicated job launches; the job
+    runs ~0.4 s of halo-exchange iterations, so the windows walk across
+    early, mid, and late (sometimes post-completion) run phases as the
+    seed varies. Every third seed runs clean so the sweep also covers the
+    fault-free fan-out/dedup surface:
+
+    * ``card_failure`` — one replica's card dies (occasionally repaired):
+      its team must finish on the survivor with zero restarts.
+    * ``team_wipe`` — both replicas of team 0 die a beat apart: the run
+      must end with a clean ReplicationError, never a deadlock.
+    * ``lagging_replica`` — one replica's link flaps long enough for the
+      heartbeat to drop it; the detector re-seeds the team from the
+      healthy replica through the fleet's MAINTENANCE lane.
+    """
+    if seed % 3 == 0:
+        return []
+    if mode == "card_failure":
+        fault: Dict[str, Any] = {
+            "kind": "replica_card_failure", "team": seed % 2,
+            "replica": (seed // 3) % 2, "at": 0.1 + 0.05 * (seed % 6),
+        }
+        if seed % 4 == 2:
+            fault["repair_after"] = 0.3 + 0.1 * (seed % 3)
+        return [fault]
+    if mode == "team_wipe":
+        at = 0.1 + 0.04 * (seed % 5)
+        return [
+            {"kind": "replica_card_failure", "team": 0, "replica": 0,
+             "at": at},
+            {"kind": "replica_card_failure", "team": 0, "replica": 1,
+             "at": at + 0.02 + 0.02 * (seed % 4)},
+        ]
+    if mode == "lagging_replica":
+        return [{"kind": "replica_link_flap", "team": seed % 2,
+                 "replica": (seed // 2) % 2, "at": 0.1 + 0.05 * (seed % 5),
+                 "up_after": 0.2 + 0.1 * (seed % 3)}]
+    raise ValueError(f"unknown replication mode {mode!r}")
 
 
 @dataclass

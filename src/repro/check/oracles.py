@@ -605,6 +605,103 @@ def rdma_windows_replayed(server: "XeonPhiServer") -> List[Violation]:
     return out
 
 
+def team_membership_consistent(server: "XeonPhiServer") -> List[Violation]:
+    """Replication-team membership is coherent at quiescence.
+
+    For every :class:`~repro.mpi.replication.ReplicatedJob` on the
+    simulator: no replica is both live and dropped, live replicas of one
+    team occupy pairwise-distinct cards (the anti-affinity contract), every
+    dropped replica's host process is fenced (not still running), and every
+    replica the job ever placed is accounted for as live or dropped.
+    """
+    from ..mpi.replication import ReplicatedJob
+
+    out: List[Violation] = []
+    for job in ReplicatedJob.all_of(server.sim):
+        comm = job.comm
+        for team in range(job.n_teams):
+            live = comm.live[team]
+            dropped = comm.dropped[team]
+            overlap = [r for r in live if r in dropped]
+            if overlap:
+                out.append(Violation(
+                    "team_membership_consistent",
+                    f"{job.name} team {team}: replicas {overlap} both live "
+                    f"and dropped",
+                ))
+            cards = [job.placement[(team, r)].key for r in live
+                     if (team, r) in job.placement]
+            if len(set(cards)) != len(cards):
+                out.append(Violation(
+                    "team_membership_consistent",
+                    f"{job.name} team {team}: live replicas share a card "
+                    f"({cards})",
+                ))
+            for r in dropped:
+                rep = job.replicas.get((team, r))
+                proc = rep.host_proc if rep is not None else None
+                if proc is not None and proc.alive:
+                    out.append(Violation(
+                        "team_membership_consistent",
+                        f"{job.name} team {team}: dropped replica {r} was "
+                        "never fenced (host process still alive)",
+                    ))
+            placed = sorted(r for (t, r) in job.replicas if t == team)
+            tracked = sorted(live + dropped)
+            if placed != tracked:
+                out.append(Violation(
+                    "team_membership_consistent",
+                    f"{job.name} team {team}: replicas {placed} placed but "
+                    f"{tracked} tracked as live+dropped",
+                ))
+    return out
+
+
+def no_duplicate_delivery(server: "XeonPhiServer") -> List[Violation]:
+    """Message accounting balances and nothing was delivered twice.
+
+    Replica layer: every ``(replica, message)`` pair in a
+    :class:`~repro.mpi.replication.TeamComm` was delivered exactly once
+    (fan-out duplicates suppressed, re-seed backfill included) and the copy
+    ledger balances. Substrate layer: every
+    :class:`~repro.mpi.runtime.MPIComm` conserves messages —
+    ``sent == consumed + pending`` — with duplicate re-sends counted in
+    ``messages_dropped``, never in ``messages_sent``.
+    """
+    from ..mpi.replication import TeamComm
+    from ..mpi.runtime import MPIComm
+
+    out: List[Violation] = []
+    for comm in TeamComm.all_of(server.sim):
+        dups = {k: n for k, n in comm.delivered_counts.items() if n != 1}
+        if dups:
+            sample = next(iter(dups.items()))
+            out.append(Violation(
+                "no_duplicate_delivery",
+                f"{len(dups)} replica message(s) delivered != 1 time "
+                f"(e.g. {sample[0]} x{sample[1]})",
+            ))
+        if not comm.ledger_balanced():
+            out.append(Violation(
+                "no_duplicate_delivery",
+                f"team copy ledger unbalanced: sent={comm.copies_sent} "
+                f"backfilled={comm.backfilled} delivered={comm.delivered} "
+                f"suppressed={comm.suppressed} "
+                f"dropped_dead={comm.dropped_dead}",
+            ))
+    for mpi in MPIComm.all_of(server.sim):
+        expect = mpi.messages_consumed + mpi.pending_messages()
+        if mpi.messages_sent != expect:
+            out.append(Violation(
+                "no_duplicate_delivery",
+                f"MPI message conservation broken: sent="
+                f"{mpi.messages_sent} != consumed({mpi.messages_consumed}) "
+                f"+ pending({mpi.pending_messages()}) "
+                f"[dropped={mpi.messages_dropped}]",
+            ))
+    return out
+
+
 #: All oracles, in check order. ``check_all`` runs every one of these.
 ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     memory_accounting,
@@ -627,6 +724,8 @@ ORACLES: List[Callable[["XeonPhiServer"], List[Violation]]] = [
     restored_files_consistent,
     pending_signals_blocked,
     rdma_windows_replayed,
+    team_membership_consistent,
+    no_duplicate_delivery,
     no_crashed_threads,
 ]
 

@@ -77,6 +77,13 @@ INCREMENTAL_MODES = ("delta_chain", "partner_loss", "demotion_race")
 PLUGIN_MODES = ("socket_restore", "ramfs_offsets", "signal_pending",
                 "rdma_migrate")
 
+#: Fault shapes of the ``replication:<mode>`` sweep — a replica's card
+#: dying under its team (the survivors must carry the run), both replicas
+#: of one team dying (the wipe must surface as a clean ReplicationError),
+#: and a replica lagging behind a flapped link (heartbeat drop + re-seed
+#: through the fleet's MAINTENANCE lane).
+REPLICATION_MODES = ("card_failure", "team_wipe", "lagging_replica")
+
 ITERATIONS = 8
 _GRACE = 5.0  # simulated seconds a faulted app may take to surface its error
 
@@ -406,6 +413,93 @@ def _fleet(server, app, injector, phase, faults):
     }
 
 
+def _replication(server, app, injector, phase, faults):
+    """A replicated (TeaMPI-style) job under replica-targeted faults.
+
+    Boots a ``rack8`` fleet on the scenario's kernel and runs a two-team,
+    R=2 :class:`~repro.mpi.replication.ReplicatedJob` under its heartbeat
+    detector. ``replica_card_failure`` / ``replica_link_flap`` faults name
+    a (team, replica) — the builder resolves them against the job's actual
+    placement. The ``lagging_replica`` mode re-seeds dropped replicas
+    through a :class:`~repro.snapify.fleet.FleetManager` MAINTENANCE
+    ticket. A single replica loss must be invisible (the job completes and
+    verifies, zero restarts); a full team wipe must surface as a clean
+    ``faulted`` outcome, never a crash or deadlock. The
+    ``team_membership_consistent`` and ``no_duplicate_delivery`` oracles
+    judge membership and message accounting afterwards.
+    """
+    from ..apps.workloads import NAS_MZ_BENCHMARKS
+    from ..mpi.replication import (
+        HeartbeatDetector,
+        ReplicatedJob,
+        ReplicationError,
+    )
+    from ..snapify.fleet import FleetManager
+    from ..testbed import XeonPhiFleet
+
+    if phase not in REPLICATION_MODES:
+        raise ValueError(f"unknown replication mode {phase!r}")
+    sim = server.sim
+    fleet = XeonPhiFleet("rack8", sim=sim)
+    job = ReplicatedJob(fleet, NAS_MZ_BENCHMARKS["SP-MZ"], n_teams=2,
+                        n_replicas=2, iterations=6)
+    reseed = phase == "lagging_replica"
+    manager = FleetManager(fleet) if reseed else None
+    detector = HeartbeatDetector(job, interval=0.05, misses=2,
+                                 reseed=reseed, manager=manager)
+    yield from job.launch()
+    detector.start()
+    for f in faults:
+        kind = f.get("kind")
+        if kind not in ("replica_card_failure", "replica_link_flap"):
+            continue
+        key = (f["team"] % job.n_teams, f["replica"] % job.n_replicas)
+        phi = fleet.phi(job.placement[key])
+        if kind == "replica_card_failure":
+            injector.schedule_card_failure(
+                phi, at=sim.now + f["at"],
+                repair_after=f.get("repair_after"),
+            )
+        else:
+            injector.schedule_link_flap(
+                phi, at=sim.now + f["at"], up_after=f.get("up_after"),
+            )
+
+    outcome = "completed"
+    try:
+        yield from job.join()
+    except ReplicationError:
+        # A team lost every replica: abort the survivors (they would block
+        # forever on halos from the wiped team) and report a clean fault.
+        outcome = "faulted"
+        job.abort()
+    detector.stop()
+    if manager is not None and detector.reseed_tickets:
+        yield from manager.collect(detector.reseed_tickets)
+
+    bad: List[Violation] = []
+    if outcome == "completed" and not job.verify():
+        bad.append(Violation(
+            "replication",
+            "job completed without a verified checksum in every team",
+        ))
+    if not injector.injected:
+        if outcome != "completed":
+            bad.append(Violation(
+                "replication", "team wiped with no injected fault"
+            ))
+        if detector.drops:
+            bad.append(Violation(
+                "replication",
+                f"replicas dropped with no injected fault: {detector.drops}",
+            ))
+    return {
+        "outcome": outcome,
+        "violations": bad,
+        "servers": fleet.servers,
+    }
+
+
 def _incremental(server, app, injector, phase, faults):
     """Incremental dirty-page checkpoints into the in-memory partner tier.
 
@@ -670,6 +764,7 @@ SCENARIOS = {
     "fleet": _fleet,
     "incremental": _incremental,
     "plugin": _plugin,
+    "replication": _replication,
 }
 
 
@@ -677,12 +772,13 @@ def scenario_names() -> List[str]:
     """All runnable names, with parameterized scenarios expanded."""
     names = [n for n in SCENARIOS
              if n not in ("checkpoint_fault", "transfer_fault", "fleet",
-                          "incremental", "plugin")]
+                          "incremental", "plugin", "replication")]
     names.extend(f"checkpoint_fault:{p}" for p in CHECKPOINT_FAULT_PHASES)
     names.extend(f"transfer_fault:{m}" for m in TRANSFER_FAULT_MODES)
     names.append("fleet:rack8")
     names.extend(f"incremental:{m}" for m in INCREMENTAL_MODES)
     names.extend(f"plugin:{m}" for m in PLUGIN_MODES)
+    names.extend(f"replication:{m}" for m in REPLICATION_MODES)
     return names
 
 
@@ -718,15 +814,18 @@ def run_scenario(
 
     ``name`` is a scenario key, optionally parameterized —
     ``checkpoint_fault:<phase>``, ``transfer_fault:<mode>``,
-    ``incremental:<mode>``, or ``plugin:<mode>``. ``faults`` entries are dicts dispatched on
+    ``incremental:<mode>``, ``plugin:<mode>``, or ``replication:<mode>``.
+    ``faults`` entries are dicts dispatched on
     their ``"kind"`` (default ``card_failure``): ``card_failure`` takes
     ``{"device", "at"}`` plus optional ``"warning_lead"`` /
     ``"repair_after"``; ``link_flap`` takes ``{"device", "at"}`` plus
     optional ``"up_after"``; ``io_daemon_crash`` takes ``{"node", "at"}``
     (SCIF numbering: 0 = host) plus optional ``"restart_after"``;
     ``nfs_down`` takes ``{"at"}`` plus optional ``"restore_after"``.
-    Entries with ``"phase"`` select the injection boundary of the
-    ``checkpoint_fault`` scenario.
+    ``replica_card_failure`` / ``replica_link_flap`` name a
+    ``{"team", "replica"}`` instead of a device — the replication builder
+    resolves them against its own placement. Entries with ``"phase"``
+    select the injection boundary of the ``checkpoint_fault`` scenario.
     """
     base, _, phase = name.partition(":")
     try:
@@ -746,8 +845,9 @@ def run_scenario(
         # Fault times are offsets after testbed boot (boot itself consumes
         # simulated time, deterministically per seed).
         kind = f.get("kind", "card_failure")
-        if kind == "fleet_card_failure":
-            continue  # targets fleet cards; the fleet builder schedules it
+        if kind in ("fleet_card_failure", "replica_card_failure",
+                    "replica_link_flap"):
+            continue  # fleet/replica-relative; their builders schedule them
         if kind == "card_failure":
             injector.schedule_card_failure(
                 server.node.phis[f["device"]],

@@ -116,10 +116,19 @@ class CardRuntime:
         # The agent must greet the daemon before we block in accept: the
         # daemon only hands the reconnect port to the host after the hello.
         attach_restored_agent(self.proc)
-        for buf_id, info in store["buffers"].items():
-            if not self.phi_os.fs.exists(info["path"]):
-                raise COIError(f"restore: local store file missing: {info['path']}")
-            self._buffers[buf_id] = dict(info)
+        try:
+            for buf_id, info in store["buffers"].items():
+                if not self.phi_os.fs.exists(info["path"]):
+                    raise COIError(f"restore: local store file missing: {info['path']}")
+                self._buffers[buf_id] = dict(info)
+        except BaseException as exc:
+            # Dying before _accept_channels fires the listening rendezvous
+            # would leave the daemon waiting on it forever: fail the event
+            # so the restore turns into a clean operation failure.
+            listening = self.proc.runtime.get("listening")
+            if listening is not None and not listening.triggered:
+                listening.fail(COIError(f"restore aborted before listen: {exc}"))
+            raise
         yield from self._accept_channels(store["_listen_port"])
         self.finish_enter_paused()
         # Re-register every buffer: offsets WILL differ from the originals.
@@ -186,7 +195,16 @@ class CardRuntime:
         yield from self.event_client.snapify_shutdown()
         yield from self.log_client.snapify_shutdown()
         reg.counter("snapify.drain.case3").inc(2)  # event + log channels
-        while self._pipeline_busy or ("pipeline" in self.eps and self.eps["pipeline"].pending):
+        # The cmd/control servers must be between requests too: a pause
+        # landing mid-BUFFER_CREATE would save the local store before the
+        # new buffer commits while the (later) context capture records it —
+        # a torn snapshot that cannot be restored.
+        while (
+            self._pipeline_busy
+            or ("pipeline" in self.eps and self.eps["pipeline"].pending)
+            or self.cmd_server.busy
+            or self.control_server.busy
+        ):
             yield self.sim.timeout(100e-6)
         yield self.pipeline_result_mutex.acquire(owner="snapify")
         reg.counter("snapify.drain.case4").inc()

@@ -112,6 +112,10 @@ class ServerLoop:
         self.name = name
         self.shutdowns_seen = 0
         self.messages_handled = 0
+        #: True while a request handler is executing. The card-side quiesce
+        #: waits this out: a snapshot taken mid-BUFFER_CREATE would save a
+        #: local store that disagrees with the captured context.
+        self.busy = False
         self._rebound: Optional[Event] = None
         self.thread = proc.spawn_thread(self._loop(), name=f"srv:{name}", daemon=True)
 
@@ -137,6 +141,10 @@ class ServerLoop:
                 yield from self.ep.send({"type": m.SHUTDOWN_ACK, "channel": self.name})
                 continue
             self.messages_handled += 1
-            reply = yield from self.handler(msg)
+            self.busy = True
+            try:
+                reply = yield from self.handler(msg)
+            finally:
+                self.busy = False
             if reply is not None:
                 yield from self.ep.send(reply)

@@ -1,6 +1,26 @@
-"""MPI substrate and coordinated checkpoint/restart for offload jobs."""
+"""MPI substrate, coordinated checkpoint/restart, and team replication."""
 
 from .cr import mpi_checkpoint, mpi_restart, rank_snapshot_path
+from .replication import (
+    HeartbeatDetector,
+    ReplicatedJob,
+    ReplicationError,
+    TeamComm,
+    TeamReplica,
+    plan_replica_placement,
+)
 from .runtime import MPIComm, MPIError
 
-__all__ = ["MPIComm", "MPIError", "mpi_checkpoint", "mpi_restart", "rank_snapshot_path"]
+__all__ = [
+    "HeartbeatDetector",
+    "MPIComm",
+    "MPIError",
+    "ReplicatedJob",
+    "ReplicationError",
+    "TeamComm",
+    "TeamReplica",
+    "mpi_checkpoint",
+    "mpi_restart",
+    "plan_replica_placement",
+    "rank_snapshot_path",
+]

@@ -8,12 +8,13 @@ checkpoint protocol of :mod:`repro.mpi.cr` relies on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from ..sim.errors import SimError
 from ..sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Simulator
     from ..testbed import XeonPhiCluster
 
 
@@ -23,6 +24,9 @@ class MPIError(SimError):
 
 class MPIComm:
     """Communicator binding one rank per cluster node."""
+
+    #: Simulator attribute holding every communicator (oracle discovery).
+    _ATTR = "mpi_comms"
 
     def __init__(self, cluster: "XeonPhiCluster", n_ranks: int):
         if n_ranks > len(cluster):
@@ -34,21 +38,47 @@ class MPIComm:
         self._delivered: Dict[Tuple[int, int, Any], Any] = {}
         #: (dst, src, tag) -> waiting event
         self._waiters: Dict[Tuple[int, int, Any], Event] = {}
+        #: Messages accepted by the substrate (delivered to a waiter or
+        #: queued); duplicate re-sends dropped on the floor count in
+        #: ``messages_dropped`` instead, so at quiescence
+        #: ``messages_sent == messages_consumed + pending_messages()``.
         self.messages_sent = 0
+        self.messages_dropped = 0
+        self.messages_consumed = 0
+        comms = getattr(self.sim, self._ATTR, None)
+        if comms is None:
+            comms = []
+            setattr(self.sim, self._ATTR, comms)
+        comms.append(self)
+
+    @classmethod
+    def all_of(cls, sim: "Simulator") -> List["MPIComm"]:
+        """Every communicator built on ``sim`` (oracle discovery hook)."""
+        return list(getattr(sim, cls._ATTR, ()))
 
     def send(self, src: int, dst: int, tag: Any, nbytes: int, payload: Any = None):
-        """Sub-generator: eager tagged send (re-sends of a consumed tag are
-        dropped on the floor, making restart-induced duplicates safe)."""
+        """Sub-generator: eager tagged send (re-sends of a still-delivered
+        tag are dropped on the floor, making restart-induced duplicates
+        safe)."""
         self._check_rank(src)
         self._check_rank(dst)
         yield from self.cluster.cluster.transfer(src, dst, nbytes)
-        self.messages_sent += 1
         key = (dst, src, tag)
         waiter = self._waiters.pop(key, None)
+        if waiter is not None and waiter.abandoned:
+            # The receiving rank died mid-recv: its event has no thread left
+            # to resume. Succeeding it would vanish the payload, so re-queue
+            # the message for whoever (e.g. a restarted rank) recvs next.
+            waiter = None
         if waiter is not None and not waiter.triggered:
+            self.messages_sent += 1
+            self.messages_consumed += 1
             waiter.succeed(payload)
+        elif key in self._delivered:
+            self.messages_dropped += 1
         else:
-            self._delivered.setdefault(key, payload)
+            self.messages_sent += 1
+            self._delivered[key] = payload
 
     def recv(self, dst: int, src: int, tag: Any) -> Event:
         """Event for the (src, tag) message addressed to ``dst``."""
@@ -57,9 +87,11 @@ class MPIComm:
         key = (dst, src, tag)
         ev = Event(self.sim, name=f"mpi.recv:{key}")
         if key in self._delivered:
+            self.messages_consumed += 1
             ev.succeed(self._delivered.pop(key))
         else:
-            if key in self._waiters and not self._waiters[key].triggered:
+            stale = self._waiters.get(key)
+            if stale is not None and not stale.triggered and not stale.abandoned:
                 raise MPIError(f"double recv on {key}")
             self._waiters[key] = ev
         return ev
@@ -67,6 +99,17 @@ class MPIComm:
     def pending_messages(self) -> int:
         """Delivered-but-unconsumed messages (drain probe for checkpoints)."""
         return len(self._delivered)
+
+    def drop_stale_waiters(self) -> int:
+        """Forget waiters whose rank died mid-recv; returns how many.
+
+        ``send`` already re-queues around an abandoned waiter, so this sweep
+        is pure hygiene for long-lived communicators that churn ranks.
+        """
+        stale = [k for k, ev in self._waiters.items() if ev.abandoned]
+        for k in stale:
+            del self._waiters[k]
+        return len(stale)
 
     def _check_rank(self, r: int) -> None:
         if not (0 <= r < self.n_ranks):

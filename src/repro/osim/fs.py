@@ -187,7 +187,15 @@ class RamFileSystem(FileSystem):
         # Allocation can raise MemoryExhausted: local snapshots of large
         # processes genuinely cannot fit (Table 4 'Local' at 4 GB).
         self.memory.allocate(nbytes, "ramfs")
-        yield self.sim.timeout(self.memory.memcpy_time(nbytes) * self.write_factor)
+        try:
+            yield self.sim.timeout(self.memory.memcpy_time(nbytes) * self.write_factor)
+        except BaseException:
+            # Torn write: the writer died (card failure kills its thread
+            # mid-copy) — roll the charge back so the pool matches the
+            # files that actually exist. Thread.kill() closes the
+            # generator synchronously, so this runs deterministically.
+            self.memory.free(nbytes, "ramfs")
+            raise
         f.size += nbytes
         if payload is not None:
             f.payload = payload

@@ -31,9 +31,15 @@ class ResilientRunner:
         interval: float,
         snapshot_root: str = "/resilient",
         restart_from_scratch: bool = False,
+        detection_latency: float = 0.05,
+        max_recover_attempts: int = 3,
     ):
         if interval <= 0:
             raise ValueError("checkpoint interval must be positive")
+        if detection_latency < 0:
+            raise ValueError("detection latency must be non-negative")
+        if max_recover_attempts < 1:
+            raise ValueError("need at least one recovery attempt")
         self.server = server
         self.sim = server.sim
         self.app = app
@@ -43,6 +49,13 @@ class ResilientRunner:
         #: Policy for a failure before the first checkpoint: relaunch the
         #: job from iteration zero (True) or raise (False).
         self.restart_from_scratch = restart_from_scratch
+        #: Sim-seconds between a failure and the runner acting on it; also
+        #: the back-off between recovery retries.
+        self.detection_latency = detection_latency
+        #: How many restart attempts one recovery makes before giving up
+        #: (a second card can die mid-restart; each retry re-picks a
+        #: healthy card, so a repaired card rescues a later attempt).
+        self.max_recover_attempts = max_recover_attempts
         self.checkpoints_taken = 0
         self.restarts = 0
         self.latest_snapshot: Optional[str] = None
@@ -109,20 +122,34 @@ class ResilientRunner:
             raise RuntimeError("failure before the first checkpoint: work lost")
         self.restarts += 1
         self.events.append(("failure", self.sim.now))
-        if self._host_proc().alive:
-            self._host_proc().terminate(code=1)
-        yield self.sim.timeout(0.05)  # failure detection latency
-        if self.latest_snapshot is None:
-            # No checkpoint yet: rerun the whole job on a healthy card.
-            self.app.host_proc = None
-            self.app.device = self._healthy_engine().device_id
-            yield from self.app.launch()
-            self.events.append(("relaunch", self.sim.now))
+        attempts = 0
+        while True:
+            attempts += 1
+            proc = self._host_proc()
+            if proc is not None and proc.alive:
+                proc.terminate(code=1)
+            yield self.sim.timeout(self.detection_latency)
+            try:
+                if self.latest_snapshot is None:
+                    # No checkpoint yet: rerun the whole job on a healthy card.
+                    self.app.host_proc = None
+                    self.app.device = self._healthy_engine().device_id
+                    yield from self.app.launch()
+                    self.events.append(("relaunch", self.sim.now))
+                    return
+                result = yield from restart_offload_app(
+                    self.server.host_os, self.latest_snapshot, self._healthy_engine()
+                )
+            except Exception:
+                # A second card died mid-restart (or no card was healthy
+                # yet). Retry on whatever card is healthy after another
+                # detection delay, up to the attempt budget.
+                if attempts >= self.max_recover_attempts:
+                    raise
+                self.events.append(("recover_retry", self.sim.now))
+                continue
+            self.app.host_proc = result.host_proc
+            if result.result is not None:
+                self.op_results.append(result.result)
+            self.events.append(("restart", self.latest_snapshot, self.sim.now))
             return
-        result = yield from restart_offload_app(
-            self.server.host_os, self.latest_snapshot, self._healthy_engine()
-        )
-        self.app.host_proc = result.host_proc
-        if result.result is not None:
-            self.op_results.append(result.result)
-        self.events.append(("restart", self.latest_snapshot, self.sim.now))

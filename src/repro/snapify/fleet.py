@@ -465,6 +465,37 @@ class FleetManager:
         return self.submit(key, "migrate", work, card=card, priority=priority,
                            proc=coiproc.host_proc)
 
+    def submit_reseed(self, key: str, coiproc: Any, host_os: Any,
+                      engine_to: Any, snapshot_path: str, *,
+                      card: Optional[CardRef] = None,
+                      priority: int = MAINTENANCE,
+                      integrate: Optional[Callable[[Any], None]] = None) -> FleetTicket:
+        """Clone a healthy replica onto a spare card (maintenance priority:
+        this is how a degraded replication team regains redundancy).
+
+        Unlike :meth:`submit_migrate` the source keeps running: the work is
+        a non-destructive checkpoint of ``coiproc`` followed by a restart
+        of the snapshot on ``engine_to``. ``integrate`` (if given) runs
+        synchronously after the restart returns — before the restored main
+        thread is scheduled — so the caller can stamp replica identity and
+        join team membership without racing the clone.
+        """
+        from .api import snapify_t
+        from .usecases import checkpoint_offload_app, restart_offload_app
+
+        def work():
+            snap = snapify_t(snapshot_path=snapshot_path, coiproc=coiproc)
+            yield from checkpoint_offload_app(snap)
+            result = yield from restart_offload_app(
+                host_os, snapshot_path, engine_to
+            )
+            if integrate is not None:
+                integrate(result)
+            return result.result
+
+        return self.submit(key, "reseed", work, card=card, priority=priority,
+                           proc=coiproc.host_proc)
+
     def submit_restore(self, key: str, snap: Any, engine: Any, host_proc: Any,
                        *, card: Optional[CardRef] = None,
                        priority: int = SWAP) -> FleetTicket:

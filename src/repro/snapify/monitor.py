@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Dict
 from ..blcr import DeltaImage, cr_restart, cr_restore_context, reassemble
 from ..coi.buffer import localstore_path as buffer_localstore_path
 from ..coi.daemon import COIDaemon, DaemonEntry
+from ..coi.services import COIError
 from ..obs.registry import MetricsRegistry
 from ..osim.pipes import DuplexPipe
 from ..osim.process import SimProcess
@@ -367,8 +368,20 @@ def _handle_restore(daemon: COIDaemon, svc: SnapifyService, ep, msg):
     daemon._watch(entry)
 
     proc.start()
-    yield listening
-    ack = yield pipe.a.recv()  # restored agent announces itself
+    try:
+        yield listening
+        ack = yield pipe.a.recv()  # restored agent announces itself
+    except COIError as exc:
+        # The restored process died before reconnecting (e.g. a torn
+        # snapshot whose local store cannot back the buffer table it
+        # captured). Reap it and report a clean failure to the host
+        # instead of waiting on the rendezvous forever.
+        if proc.alive:
+            proc.terminate(code=1)
+        sp.finish(error=str(exc))
+        yield from ep.send({"t": c.SNAPIFY_FAILED, "op_id": msg.get("op_id", 0),
+                            "reason": f"restore: {exc}"})
+        return
     if ack.get("t") != c.PAUSE_ACK:
         raise SnapifyError(f"restored agent bad hello: {ack!r}",
                            op_id=msg.get("op_id") or None, phase="restore")

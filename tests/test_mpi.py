@@ -49,6 +49,77 @@ def test_comm_duplicate_send_is_harmless():
     assert t.done.value in (0, 1)
 
 
+def test_comm_counter_split_conserves_messages():
+    """Duplicate re-sends count in ``messages_dropped``, never in
+    ``messages_sent`` — so sent == consumed + pending at quiescence."""
+    cluster = XeonPhiCluster(n_nodes=2)
+    comm = MPIComm(cluster, 2)
+
+    def driver(sim):
+        yield from comm.send(0, 1, "t", 1024, payload="first")
+        yield from comm.send(0, 1, "t", 1024, payload="dup")  # dropped
+        msg = yield comm.recv(1, 0, "t")
+        assert msg == "first"
+        yield from comm.send(0, 1, "t2", 1024, payload="parked")
+
+    t = cluster.sim.spawn(driver(cluster.sim))
+    cluster.sim.run_until(t.done)
+    assert comm.messages_sent == 2
+    assert comm.messages_dropped == 1
+    assert comm.messages_consumed == 1
+    assert comm.pending_messages() == 1
+    assert comm.messages_sent == comm.messages_consumed + comm.pending_messages()
+
+
+def test_comm_send_requeues_around_dead_receiver():
+    """A recv whose rank died mid-wait leaves an abandoned event; the send
+    must park the payload for the next (restarted) receiver instead of
+    vanishing it into the dead waiter."""
+    cluster = XeonPhiCluster(n_nodes=2)
+    comm = MPIComm(cluster, 2)
+    out = {}
+
+    def driver(sim):
+        orphan = comm.recv(1, 0, "t")  # the rank dies before waiting
+        assert orphan.abandoned
+        yield from comm.send(0, 1, "t", 1024, payload="p")
+        assert not orphan.triggered  # NOT handed to the dead waiter
+        assert comm.pending_messages() == 1
+        out["msg"] = yield comm.recv(1, 0, "t")
+
+    t = cluster.sim.spawn(driver(cluster.sim))
+    cluster.sim.run_until(t.done)
+    assert out["msg"] == "p"
+    assert comm.messages_sent == comm.messages_consumed == 1
+    assert comm.messages_dropped == 0
+
+
+def test_comm_drop_stale_waiters_sweeps_only_the_dead():
+    cluster = XeonPhiCluster(n_nodes=2)
+    comm = MPIComm(cluster, 2)
+    out = {}
+
+    def dead_rank(sim):
+        comm.recv(1, 0, "never")  # registered, then the rank moves on
+        yield sim.timeout(0.01)
+
+    def live_rank(sim):
+        out["msg"] = yield comm.recv(0, 1, "later")
+
+    def sender(sim):
+        yield sim.timeout(0.05)
+        # Only the abandoned waiter is swept; the parked live one survives.
+        assert comm.drop_stale_waiters() == 1
+        assert comm.drop_stale_waiters() == 0
+        yield from comm.send(1, 0, "later", 512, payload="ok")
+
+    cluster.sim.spawn(dead_rank(cluster.sim))
+    cluster.sim.spawn(live_rank(cluster.sim))
+    cluster.sim.spawn(sender(cluster.sim))
+    cluster.sim.run()
+    assert out["msg"] == "ok"
+
+
 def test_comm_rank_validation():
     cluster = XeonPhiCluster(n_nodes=2)
     comm = MPIComm(cluster, 2)

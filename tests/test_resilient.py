@@ -159,6 +159,87 @@ def test_runner_rejects_bad_interval():
                         interval=0)
 
 
+def test_runner_rejects_bad_recovery_knobs():
+    server = XeonPhiServer()
+    app = make_app(server)
+    injector = FaultInjector(server.sim)
+    with pytest.raises(ValueError, match="detection latency"):
+        ResilientRunner(server, app, injector, interval=0.5,
+                        detection_latency=-0.1)
+    with pytest.raises(ValueError, match="recovery attempt"):
+        ResilientRunner(server, app, injector, interval=0.5,
+                        max_recover_attempts=0)
+
+
+def test_detection_latency_delays_the_restart():
+    """The runner must not react faster than its failure-detection window:
+    the restart lands at least ``detection_latency`` after the failure."""
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    app = make_app(server, iterations=100)
+    runner = ResilientRunner(server, app, injector, interval=0.4,
+                             detection_latency=0.5)
+
+    def driver(sim):
+        injector.schedule_card_failure(server.node.phis[0], at=1.3)
+        store = yield from runner.run()
+        return store
+
+    store = server.run(driver(server.sim))
+    assert store["checksum"] == expected_checksum(100)
+    failure_t = next(e[1] for e in runner.events if e[0] == "failure")
+    restart_t = next(e[2] for e in runner.events if e[0] == "restart")
+    assert restart_t - failure_t >= 0.5
+
+
+def test_recovery_gives_up_after_bounded_attempts():
+    """Every card dead: each retry re-picks a card, finds none, backs off —
+    and after ``max_recover_attempts`` the failure propagates instead of
+    retrying forever."""
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    app = make_app(server, iterations=200)
+    runner = ResilientRunner(server, app, injector, interval=0.4,
+                             max_recover_attempts=3)
+    out = {}
+
+    def driver(sim):
+        for phi in server.node.phis:
+            injector.schedule_card_failure(phi, at=1.3)
+        try:
+            yield from runner.run()
+        except RuntimeError as exc:
+            out["error"] = str(exc)
+
+    server.run(driver(server.sim))
+    assert "no healthy coprocessor" in out["error"]
+    retries = [e for e in runner.events if e[0] == "recover_retry"]
+    assert len(retries) == 2  # attempts 1 and 2 retried; attempt 3 raised
+
+
+def test_recovery_retry_is_rescued_by_a_repaired_card():
+    """A retry after the back-off finds the repaired card and completes —
+    the bounded-retry loop's success path."""
+    server = XeonPhiServer()
+    injector = FaultInjector(server.sim)
+    app = make_app(server, iterations=100)
+    runner = ResilientRunner(server, app, injector, interval=0.4,
+                             detection_latency=0.2, max_recover_attempts=5)
+
+    def driver(sim):
+        # Both cards die; mic1 comes back inside the retry horizon.
+        injector.schedule_card_failure(server.node.phis[0], at=1.3)
+        injector.schedule_card_failure(server.node.phis[1], at=1.3,
+                                       repair_after=0.5)
+        store = yield from runner.run()
+        return store
+
+    store = server.run(driver(server.sim))
+    assert store["checksum"] == expected_checksum(100)
+    assert runner.restarts >= 1
+    assert any(e[0] == "recover_retry" for e in runner.events)
+
+
 def test_runner_restart_from_scratch_policy():
     """With the relaunch policy, an early failure costs a full rerun but
     the job still completes correctly."""

@@ -112,8 +112,10 @@ def test_unknown_scenario_is_rejected():
 def test_scenario_names_expand_fault_phases():
     names = scenario_names()
     parameterized = {"checkpoint_fault", "transfer_fault", "fleet",
-                     "incremental", "plugin"}
+                     "incremental", "plugin", "replication"}
     assert set(SCENARIOS) - parameterized <= set(names)
+    for mode in ("card_failure", "team_wipe", "lagging_replica"):
+        assert f"replication:{mode}" in names
     for phase in CHECKPOINT_FAULT_PHASES:
         assert f"checkpoint_fault:{phase}" in names
     for mode in TRANSFER_FAULT_MODES:
